@@ -1,0 +1,243 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (see DESIGN.md §5), plus microbenchmarks for the pieces
+// whose cost ratio is the paper's headline (instant model evaluation
+// versus expensive detailed simulation).
+//
+// Regenerate a figure's data:
+//
+//	go test -bench=BenchmarkFig4 -benchtime=1x -v .
+//
+// Each figure benchmark reports the experiment's headline metric(s)
+// via b.ReportMetric and prints nothing unless -v is given.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dse"
+	"repro/internal/experiments"
+	"repro/internal/harness"
+	"repro/internal/pipeline"
+	"repro/internal/power"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+// BenchmarkTable2Space enumerates and validates the 192-point space.
+func BenchmarkTable2Space(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		space := dse.Space(uarch.Default())
+		if len(space) != 192 {
+			b.Fatalf("space size %d", len(space))
+		}
+	}
+}
+
+// BenchmarkFig3Validation regenerates Figure 3: model vs detailed CPI
+// for the 19 MiBench-like benchmarks on the default configuration.
+func BenchmarkFig3Validation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.Summary.Mean, "avg-err-%")
+		b.ReportMetric(100*r.Summary.Max, "max-err-%")
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + r.Render())
+		}
+	}
+}
+
+// BenchmarkFig4WidthSweep regenerates Figure 4: CPI stacks versus
+// width for sha, tiffdither and dijkstra.
+func BenchmarkFig4WidthSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		shaGain := r.Benchmarks["sha"][0].Stack.CPI() / r.Benchmarks["sha"][3].Stack.CPI()
+		dijGain := r.Benchmarks["dijkstra"][0].Stack.CPI() / r.Benchmarks["dijkstra"][3].Stack.CPI()
+		b.ReportMetric(shaGain, "sha-w4-speedup")
+		b.ReportMetric(dijGain, "dijkstra-w4-speedup")
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + r.Render())
+		}
+	}
+}
+
+// BenchmarkFig5DesignSpace regenerates Figure 5 on a three-benchmark
+// subset (the full 19-benchmark sweep lives in cmd/experiments; one
+// iteration here stays under ~15 s).
+func BenchmarkFig5DesignSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5([]string{"gsm_c", "tiff2bw", "rsynth"}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.Summary.Mean, "avg-err-%")
+		b.ReportMetric(100*r.FracBelow6, "below-6%-%")
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + r.Render())
+		}
+	}
+}
+
+// BenchmarkFig6SPEC regenerates Figure 6: the memory-intensive
+// SPEC-like validation.
+func BenchmarkFig6SPEC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.Summary.Mean, "avg-err-%")
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + r.Render())
+		}
+	}
+}
+
+// BenchmarkFig7InOrderVsOoO regenerates Figure 7.
+func BenchmarkFig7InOrderVsOoO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var inSum, ooSum float64
+		for _, row := range r.Rows {
+			inSum += row.InOrder.CPI()
+			ooSum += row.OoO.CPI()
+		}
+		b.ReportMetric(inSum/ooSum, "inorder-vs-ooo-cpi-ratio")
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + r.Render())
+		}
+	}
+}
+
+// BenchmarkFig8CompilerOpts regenerates Figure 8.
+func BenchmarkFig8CompilerOpts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells := r.Benchmarks["gsm_c"]
+		b.ReportMetric(cells[0].Normalized, "gsm_c-nosched-norm")
+		b.ReportMetric(cells[2].Normalized, "gsm_c-unroll-norm")
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + r.Render())
+		}
+	}
+}
+
+// BenchmarkFig9EDP regenerates Figure 9 (full 192-point exploration of
+// the four EDP-study benchmarks with detailed-simulation validation).
+func BenchmarkFig9EDP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worst float64
+		for _, row := range r.Rows {
+			if row.EDPGapPercent > worst {
+				worst = row.EDPGapPercent
+			}
+		}
+		b.ReportMetric(worst, "worst-edp-gap-%")
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + r.Render())
+		}
+	}
+}
+
+// --- Microbenchmarks: where the 3-orders-of-magnitude speedup lives ---
+
+func profiledFor(b *testing.B, name string) *harness.Profiled {
+	b.Helper()
+	spec, err := workloads.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pw, err := harness.ProfileProgram(spec.Build())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pw
+}
+
+// BenchmarkProfiling measures the one-time per-binary profiling cost.
+func BenchmarkProfiling(b *testing.B) {
+	spec, _ := workloads.ByName("gsm_c")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.ProfileProgram(spec.Build()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelEvaluation measures one closed-form model evaluation
+// (machine statistics already collected) — the per-design-point cost.
+func BenchmarkModelEvaluation(b *testing.B) {
+	pw := profiledFor(b, "gsm_c")
+	cfg := uarch.Default()
+	in, err := pw.Inputs(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Predict(in, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMachineStats measures one trace replay through caches and
+// predictor — the per-(hierarchy, predictor) statistics cost shared by
+// many design points.
+func BenchmarkMachineStats(b *testing.B) {
+	pw := profiledFor(b, "gsm_c")
+	cfg := uarch.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := harness.MachineStats(pw.Trace, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(pw.Trace)))
+}
+
+// BenchmarkDetailedSimulation measures one cycle-accurate run — what
+// every design point costs without the model.
+func BenchmarkDetailedSimulation(b *testing.B) {
+	pw := profiledFor(b, "gsm_c")
+	cfg := uarch.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.Simulate(pw.Trace, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(pw.Trace)))
+}
+
+// BenchmarkModelDesignSpace measures the model across all 192 points
+// (including the 16 shared statistics replays).
+func BenchmarkModelDesignSpace(b *testing.B) {
+	pw := profiledFor(b, "gsm_c")
+	space := dse.Space(uarch.Default())
+	pm := power.NewModel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dse.Explore(pw, space, pm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -exp fig3            # one experiment
+//	experiments -exp all             # everything (minutes)
+//	experiments -exp fig5 -workers 8 # design-space validation
+//
+// Experiments: table2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	exp := flag.String("exp", "all", "experiment to run: table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|all")
+	workers := flag.Int("workers", 0, "parallel detailed simulations (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	runOne := func(name string) {
+		t0 := time.Now()
+		fmt.Printf("==== %s ====\n", name)
+		var out string
+		var err error
+		switch name {
+		case "table2":
+			out = experiments.Table2()
+		case "fig3":
+			var r *experiments.ValidationResult
+			if r, err = experiments.Fig3(); err == nil {
+				out = r.Render()
+			}
+		case "fig4":
+			var r *experiments.Fig4Result
+			if r, err = experiments.Fig4(); err == nil {
+				out = r.Render()
+			}
+		case "fig5":
+			var r *experiments.Fig5Result
+			if r, err = experiments.Fig5(nil, *workers); err == nil {
+				out = r.Render()
+			}
+		case "fig6":
+			var r *experiments.ValidationResult
+			if r, err = experiments.Fig6(); err == nil {
+				out = r.Render()
+			}
+		case "fig7":
+			var r *experiments.Fig7Result
+			if r, err = experiments.Fig7(); err == nil {
+				out = r.Render()
+			}
+		case "fig8":
+			var r *experiments.Fig8Result
+			if r, err = experiments.Fig8(); err == nil {
+				out = r.Render()
+			}
+		case "fig9":
+			var r *experiments.Fig9Result
+			if r, err = experiments.Fig9(*workers); err == nil {
+				out = r.Render()
+			}
+		default:
+			log.Fatalf("unknown experiment %q", name)
+		}
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Print(out)
+		fmt.Printf("(%s took %v)\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"} {
+			runOne(name)
+		}
+		return
+	}
+	runOne(*exp)
+	_ = os.Stdout.Sync()
+}

@@ -1,0 +1,113 @@
+// Command inorder-model profiles one benchmark and predicts its
+// performance on a chosen superscalar in-order design point, printing
+// the CPI stack (and, with -validate, the detailed-simulation
+// reference).
+//
+// Usage:
+//
+//	inorder-model -bench sha
+//	inorder-model -bench dijkstra -width 2 -stages 5 -l2kb 256 -pred hybrid -validate
+//	inorder-model -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/pipeline"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("inorder-model: ")
+	var (
+		bench    = flag.String("bench", "sha", "benchmark name (see -list)")
+		width    = flag.Int("width", 4, "pipeline width W (1..4)")
+		stages   = flag.Int("stages", 9, "total pipeline stages (5, 7 or 9; sets frequency)")
+		l2kb     = flag.Int("l2kb", 512, "L2 size in KB (128, 256, 512, 1024)")
+		l2ways   = flag.Int("l2ways", 8, "L2 associativity (8 or 16)")
+		predName = flag.String("pred", "gshare", "branch predictor: gshare or hybrid")
+		validate = flag.Bool("validate", false, "also run the detailed cycle-accurate simulator")
+		list     = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range workloads.All() {
+			fmt.Printf("%-16s %s\n", s.Name, s.Domain)
+		}
+		return
+	}
+
+	spec, err := workloads.ByName(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := uarch.Default()
+	found := false
+	for _, df := range uarch.DepthFreqPoints() {
+		if df.Stages == *stages {
+			cfg = cfg.WithDepth(df)
+			found = true
+		}
+	}
+	if !found {
+		log.Fatalf("unsupported stage count %d (use 5, 7 or 9)", *stages)
+	}
+	cfg = cfg.WithWidth(*width).WithL2(*l2kb, *l2ways)
+	switch *predName {
+	case "gshare":
+		cfg = cfg.WithPredictor(uarch.PredGShare1KB)
+	case "hybrid":
+		cfg = cfg.WithPredictor(uarch.PredHybrid3_5KB)
+	default:
+		log.Fatalf("unknown predictor %q (use gshare or hybrid)", *predName)
+	}
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("profiling %s ...\n", spec.Name)
+	pw, err := harness.ProfileProgram(spec.Build())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s\n", pw.Prof)
+
+	st, err := pw.Predict(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndesign point: %s\n", cfg)
+	fmt.Printf("predicted cycles: %.0f  CPI: %.4f\n", st.Total(), st.CPI())
+	fmt.Println("CPI stack:")
+	for c := core.Component(0); c < core.NumComponents; c++ {
+		if st.Cycles[c] != 0 {
+			fmt.Printf("  %-12s %8.4f\n", c.String(), st.CPIOf(c))
+		}
+	}
+
+	if *validate {
+		sim, err := pipeline.Simulate(pw.Trace, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		errPct := 100 * abs(st.CPI()-sim.CPI()) / sim.CPI()
+		fmt.Printf("\ndetailed simulation: cycles=%d CPI=%.4f  (model error %.2f%%)\n",
+			sim.Cycles, sim.CPI(), errPct)
+	}
+	_ = os.Stdout.Sync()
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

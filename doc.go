@@ -1,0 +1,20 @@
+// Package repro is a from-scratch Go reproduction of "A Mechanistic
+// Performance Model for Superscalar In-Order Processors" (Breughe,
+// Eyerman, Eeckhout; ISPASS 2012), together with every substrate the
+// paper's evaluation depends on: an ISA and functional simulator, a
+// profiler, single-pass cache/TLB and branch-predictor simulators, a
+// cycle-accurate in-order pipeline simulator, an out-of-order interval
+// model, a power/EDP model, compiler passes, 25 benchmark kernels and
+// the full experiment harness regenerating the paper's tables and
+// figures.
+//
+// Start with README.md, DESIGN.md (system inventory and experiment
+// index) and EXPERIMENTS.md (paper-versus-measured results). The
+// benchmarks in bench_test.go regenerate each figure:
+//
+//	go test -bench=Fig3 -benchtime=1x .
+//
+// The library lives under internal/; cmd/inorder-model and
+// cmd/experiments are the command-line entry points, and examples/
+// holds five runnable walkthroughs.
+package repro

@@ -1,0 +1,205 @@
+package branch
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestCounterSaturation(t *testing.T) {
+	c := counter(0)
+	for i := 0; i < 10; i++ {
+		c = c.update(true)
+	}
+	if c != 3 || !c.taken() {
+		t.Errorf("counter = %d after saturating up", c)
+	}
+	for i := 0; i < 10; i++ {
+		c = c.update(false)
+	}
+	if c != 0 || c.taken() {
+		t.Errorf("counter = %d after saturating down", c)
+	}
+}
+
+func TestStaticNotTaken(t *testing.T) {
+	var p StaticNotTaken
+	if p.Predict(123) {
+		t.Error("static-NT predicted taken")
+	}
+	p.Update(123, true) // no-op
+	if p.Predict(123) {
+		t.Error("static-NT learned")
+	}
+	if p.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestBimodalLearnsBias(t *testing.T) {
+	b := NewBimodal(1024)
+	pc := int64(100)
+	for i := 0; i < 4; i++ {
+		b.Update(pc, true)
+	}
+	if !b.Predict(pc) {
+		t.Error("bimodal did not learn a taken bias")
+	}
+	// A different PC in another entry is unaffected.
+	if b.Predict(pc + 1) {
+		t.Error("bimodal default should be weakly not-taken")
+	}
+	b.Reset()
+	if b.Predict(pc) {
+		t.Error("Reset did not restore initial state")
+	}
+}
+
+func TestBimodalAliasing(t *testing.T) {
+	b := NewBimodal(16)
+	b.Update(0, true)
+	b.Update(0, true)
+	if !b.Predict(16) { // aliases with PC 0 (16 mod 16)
+		t.Error("aliased entry not shared")
+	}
+}
+
+func TestGShareUsesHistory(t *testing.T) {
+	// A strictly alternating branch is mispredicted by bimodal but
+	// perfectly predictable with one bit of history.
+	g := NewGShare(12)
+	bi := NewBimodal(4096)
+	pc := int64(64)
+	gMiss, bMiss := 0, 0
+	taken := false
+	for i := 0; i < 2000; i++ {
+		taken = !taken
+		if g.Predict(pc) != taken {
+			gMiss++
+		}
+		if bi.Predict(pc) != taken {
+			bMiss++
+		}
+		g.Update(pc, taken)
+		bi.Update(pc, taken)
+	}
+	if gMiss >= bMiss {
+		t.Errorf("gshare (%d misses) not better than bimodal (%d) on alternating branch", gMiss, bMiss)
+	}
+	if gMiss > 100 {
+		t.Errorf("gshare failed to learn alternating pattern: %d misses", gMiss)
+	}
+}
+
+func TestLocalLearnsShortPeriodicPattern(t *testing.T) {
+	l := NewLocal(1024, 10)
+	pc := int64(200)
+	// Pattern with period 4: T T T N.
+	miss := 0
+	for i := 0; i < 4000; i++ {
+		taken := i%4 != 3
+		if l.Predict(pc) != taken {
+			miss++
+		}
+		l.Update(pc, taken)
+	}
+	if miss > 200 {
+		t.Errorf("local predictor failed on periodic pattern: %d/4000 misses", miss)
+	}
+}
+
+func TestHybridTracksBetterComponent(t *testing.T) {
+	// Per-branch periodic patterns favor the local side; the hybrid
+	// must approach the local component's accuracy.
+	h := NewPaperHybrid()
+	l := NewLocal(1024, 10)
+	pcs := []int64{10, 20, 30}
+	hMiss, lMiss := 0, 0
+	for i := 0; i < 6000; i++ {
+		pc := pcs[i%3]
+		taken := (i/3)%3 != 2 // period-3 per-branch pattern
+		if h.Predict(pc) != taken {
+			hMiss++
+		}
+		if l.Predict(pc) != taken {
+			lMiss++
+		}
+		h.Update(pc, taken)
+		l.Update(pc, taken)
+	}
+	if hMiss > lMiss*2+200 {
+		t.Errorf("hybrid (%d misses) much worse than local (%d)", hMiss, lMiss)
+	}
+	h.Reset() // must not panic and must clear
+	if h.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestCollectorCounts(t *testing.T) {
+	c := NewCollector(StaticNotTaken{})
+	br := func(taken bool) *trace.DynInst {
+		return &trace.DynInst{IsBranch: true, Taken: taken, PC: 5}
+	}
+	c.Consume(br(true))  // mispredicted (NT predictor, taken branch)
+	c.Consume(br(false)) // correct, not taken
+	c.Consume(&trace.DynInst{IsJump: true, Taken: true})
+	c.Consume(&trace.DynInst{}) // non-control: ignored
+	if c.S.Branches != 2 || c.S.Mispredicts != 1 || c.S.Jumps != 1 {
+		t.Errorf("stats = %+v", c.S)
+	}
+	if c.S.PredictedTaken != 0 {
+		t.Errorf("static-NT cannot have predicted-taken hits: %+v", c.S)
+	}
+	if c.S.TakenBubbles() != 1 { // the jump
+		t.Errorf("TakenBubbles = %d", c.S.TakenBubbles())
+	}
+	if c.S.MispredictRate() != 0.5 {
+		t.Errorf("rate = %f", c.S.MispredictRate())
+	}
+}
+
+func TestMultiCollectorIndependence(t *testing.T) {
+	m := NewMultiCollector(StaticNotTaken{}, NewBimodal(64))
+	for i := 0; i < 100; i++ {
+		m.Consume(&trace.DynInst{IsBranch: true, Taken: true, PC: 3})
+	}
+	st := m.Stats()
+	if len(st) != 2 {
+		t.Fatalf("got %d stats", len(st))
+	}
+	if st[0].Mispredicts != 100 {
+		t.Errorf("static-NT mispredicts = %d, want 100", st[0].Mispredicts)
+	}
+	if st[1].Mispredicts > 5 {
+		t.Errorf("bimodal mispredicts = %d, want few", st[1].Mispredicts)
+	}
+	if st[1].PredictedTaken < 95 {
+		t.Errorf("bimodal predicted-taken = %d", st[1].PredictedTaken)
+	}
+}
+
+func TestMispredictRateEmpty(t *testing.T) {
+	var s Stats
+	if s.MispredictRate() != 0 {
+		t.Error("empty rate not 0")
+	}
+}
+
+func TestConstructorsRejectBadSizes(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewBimodal(0) },
+		func() { NewBimodal(3) },
+		func() { NewLocal(0, 4) },
+		func() { NewHybrid(NewLocal(16, 4), NewGShare(4), 7) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad size accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,241 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// InstrBytes is the size of one instruction in instruction memory;
+// static instruction index i lives at byte address i*InstrBytes.
+const InstrBytes = 4
+
+// WordBytes is the size of one data word; data word address a lives at
+// byte address a*WordBytes.
+const WordBytes = 4
+
+// HierarchyConfig describes a two-level hierarchy with split L1 caches,
+// a unified L2 and split TLBs.
+type HierarchyConfig struct {
+	IL1, DL1, L2 Config
+	ITLBEntries  int
+	DTLBEntries  int
+	PageBytes    int64
+}
+
+// Validate checks all components.
+func (h HierarchyConfig) Validate() error {
+	for _, c := range []Config{h.IL1, h.DL1, h.L2} {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	if h.ITLBEntries <= 0 || h.DTLBEntries <= 0 {
+		return fmt.Errorf("hierarchy: non-positive TLB entries")
+	}
+	if h.PageBytes <= 0 || h.PageBytes&(h.PageBytes-1) != 0 {
+		return fmt.Errorf("hierarchy: bad page size %d", h.PageBytes)
+	}
+	return nil
+}
+
+// Result reports the outcome of one hierarchy access.
+type Result struct {
+	L1Hit    bool
+	L2Hit    bool // meaningful only when !L1Hit
+	TLBHit   bool
+	NewBlock bool // first touch of the L1 block since the previous fill
+}
+
+// Stats aggregates hierarchy event counts, split by reference type.
+type Stats struct {
+	IL1Accesses   int64
+	IL1Misses     int64 // L1-I misses (block fills)
+	IL2Misses     int64 // of those, also missed in L2
+	DL1Accesses   int64
+	DL1Misses     int64 // L1-D misses (loads+stores)
+	DL2Misses     int64 // of those, also missed in L2
+	DL1LoadMisses int64 // load subset of DL1Misses
+	DL2LoadMisses int64 // load subset of DL2Misses
+	ITLBMisses    int64
+	DTLBMisses    int64
+	Writebacks    int64
+}
+
+// Hierarchy simulates the full memory system.
+type Hierarchy struct {
+	Cfg  HierarchyConfig
+	IL1c *Cache
+	DL1c *Cache
+	L2c  *Cache
+	ITLB *TLB
+	DTLB *TLB
+
+	S Stats
+}
+
+// NewHierarchy builds the hierarchy.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{Cfg: cfg}
+	var err error
+	if h.IL1c, err = New(cfg.IL1); err != nil {
+		return nil, err
+	}
+	if h.DL1c, err = New(cfg.DL1); err != nil {
+		return nil, err
+	}
+	if h.L2c, err = New(cfg.L2); err != nil {
+		return nil, err
+	}
+	if h.ITLB, err = NewTLB(cfg.ITLBEntries, cfg.PageBytes); err != nil {
+		return nil, err
+	}
+	if h.DTLB, err = NewTLB(cfg.DTLBEntries, cfg.PageBytes); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// MustNewHierarchy is NewHierarchy that panics on error.
+func MustNewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// AccessI performs an instruction fetch of the instruction at static
+// index pc.
+func (h *Hierarchy) AccessI(pc int64) Result {
+	byteAddr := pc * InstrBytes
+	var r Result
+	r.TLBHit = h.ITLB.Access(byteAddr)
+	if !r.TLBHit {
+		h.S.ITLBMisses++
+	}
+	h.S.IL1Accesses++
+	hit, _, _ := h.IL1c.Access(byteAddr, false)
+	r.L1Hit = hit
+	if !hit {
+		h.S.IL1Misses++
+		l2hit, wb, _ := h.L2c.Access(byteAddr, false)
+		r.L2Hit = l2hit
+		if wb {
+			h.S.Writebacks++
+		}
+		if !l2hit {
+			h.S.IL2Misses++
+		}
+	}
+	return r
+}
+
+// AccessD performs a data access to word address addr.
+func (h *Hierarchy) AccessD(addr int64, write bool) Result {
+	byteAddr := addr * WordBytes
+	var r Result
+	r.TLBHit = h.DTLB.Access(byteAddr)
+	if !r.TLBHit {
+		h.S.DTLBMisses++
+	}
+	h.S.DL1Accesses++
+	hit, wb1, victim := h.DL1c.Access(byteAddr, write)
+	if wb1 {
+		// Dirty L1 victim written back into its own L2 line.
+		if _, wb2, _ := h.L2c.Access(victim, true); wb2 {
+			h.S.Writebacks++
+		}
+	}
+	r.L1Hit = hit
+	if !hit {
+		h.S.DL1Misses++
+		if !write {
+			h.S.DL1LoadMisses++
+		}
+		l2hit, wb, _ := h.L2c.Access(byteAddr, write)
+		r.L2Hit = l2hit
+		if wb {
+			h.S.Writebacks++
+		}
+		if !l2hit {
+			h.S.DL2Misses++
+			if !write {
+				h.S.DL2LoadMisses++
+			}
+		}
+	}
+	return r
+}
+
+// Reset clears contents and statistics.
+func (h *Hierarchy) Reset() {
+	h.IL1c.Reset()
+	h.DL1c.Reset()
+	h.L2c.Reset()
+	h.ITLB.Reset()
+	h.DTLB.Reset()
+	h.S = Stats{}
+}
+
+// Collector adapts a Hierarchy to the trace.Consumer interface for
+// profiling runs: every dynamic instruction performs an I-fetch, and
+// loads/stores additionally access the data side.
+type Collector struct {
+	H *Hierarchy
+}
+
+// NewCollector wraps h.
+func NewCollector(h *Hierarchy) *Collector { return &Collector{H: h} }
+
+// Consume implements trace.Consumer.
+func (c *Collector) Consume(d *trace.DynInst) {
+	c.H.AccessI(d.PC)
+	if d.IsLoad {
+		c.H.AccessD(d.EffAddr, false)
+	} else if d.IsStore {
+		c.H.AccessD(d.EffAddr, true)
+	}
+}
+
+// Stats returns the accumulated statistics.
+func (c *Collector) Stats() Stats { return c.H.S }
+
+// MultiCollector simulates several hierarchy configurations in a single
+// pass over the trace — the "single-pass cache simulation" the paper
+// relies on to cover the design space with one profiling run.
+type MultiCollector struct {
+	Collectors []*Collector
+}
+
+// NewMultiCollector builds one collector per configuration.
+func NewMultiCollector(cfgs []HierarchyConfig) (*MultiCollector, error) {
+	m := &MultiCollector{}
+	for _, cfg := range cfgs {
+		h, err := NewHierarchy(cfg)
+		if err != nil {
+			return nil, err
+		}
+		m.Collectors = append(m.Collectors, NewCollector(h))
+	}
+	return m, nil
+}
+
+// Consume implements trace.Consumer.
+func (m *MultiCollector) Consume(d *trace.DynInst) {
+	for _, c := range m.Collectors {
+		c.Consume(d)
+	}
+}
+
+// Stats returns per-configuration statistics in configuration order.
+func (m *MultiCollector) Stats() []Stats {
+	out := make([]Stats, len(m.Collectors))
+	for i, c := range m.Collectors {
+		out[i] = c.H.S
+	}
+	return out
+}

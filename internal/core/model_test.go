@@ -1,0 +1,299 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/branch"
+	"repro/internal/cache"
+	"repro/internal/profile"
+	"repro/internal/uarch"
+)
+
+func cfgW(w int) uarch.Config {
+	c := uarch.Default()
+	c.Width = w
+	return c
+}
+
+func emptyProfile(n int64) *profile.Profile {
+	return &profile.Profile{Name: "t", N: n}
+}
+
+func TestBaseTerm(t *testing.T) {
+	// With no penalties of any kind, T = N/W exactly (Eq. 1).
+	for _, w := range []int{1, 2, 3, 4} {
+		st, err := Predict(Inputs{Prof: emptyProfile(1000)}, cfgW(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1000.0 / float64(w)
+		if st.Total() != want {
+			t.Errorf("W=%d: T = %f, want %f", w, st.Total(), want)
+		}
+	}
+}
+
+func TestMissEventPenalty(t *testing.T) {
+	// Eq. 2/3: penalty = MissLatency - (W-1)/2W per miss event.
+	cfg := cfgW(4)
+	adj := 3.0 / 8.0
+	in := Inputs{
+		Prof: emptyProfile(1000),
+		Mem: cache.Stats{
+			IL1Misses: 10, IL2Misses: 4,
+			DL1Misses: 20, DL2Misses: 5,
+			ITLBMisses: 2, DTLBMisses: 3,
+		},
+	}
+	st, err := Predict(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2 := float64(cfg.L2HitCycles())
+	mem := float64(cfg.L2MissCycles())
+	walk := float64(cfg.TLBWalkCycles())
+	checks := []struct {
+		c    Component
+		want float64
+	}{
+		{IL1L2Hit, 6 * (l2 - adj)},
+		{IL2Miss, 4 * (mem - adj)},
+		{DL1L2Hit, 15 * (l2 - adj)},
+		{DL2Miss, 5 * (mem - adj)},
+		{ITLBMiss, 2 * (walk - adj)},
+		{DTLBMiss, 3 * (walk - adj)},
+	}
+	for _, c := range checks {
+		if got := st.Cycles[c.c]; math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%v = %f, want %f", c.c, got, c.want)
+		}
+	}
+}
+
+func TestBranchPenalties(t *testing.T) {
+	// Eq. 4: D + (W-1)/2W per misprediction; 1 per taken bubble.
+	cfg := cfgW(4)
+	in := Inputs{
+		Prof:   emptyProfile(1000),
+		Branch: branch.Stats{Branches: 100, Mispredicts: 7, PredictedTaken: 30, Jumps: 5},
+	}
+	st, err := Predict(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMiss := 7 * (float64(cfg.FrontEndDepth) + 3.0/8.0)
+	if math.Abs(st.Cycles[BrMiss]-wantMiss) > 1e-9 {
+		t.Errorf("BrMiss = %f, want %f", st.Cycles[BrMiss], wantMiss)
+	}
+	if st.Cycles[BrTaken] != 35 {
+		t.Errorf("BrTaken = %f, want 35", st.Cycles[BrTaken])
+	}
+}
+
+func TestTakenFragmentationOption(t *testing.T) {
+	cfg := cfgW(4)
+	in := Inputs{
+		Prof:   emptyProfile(1000),
+		Branch: branch.Stats{PredictedTaken: 40},
+	}
+	base, _ := PredictOpts(in, cfg, Options{})
+	corr, _ := PredictOpts(in, cfg, Options{TakenFragmentation: true})
+	wantExtra := 40 * 3.0 / 8.0
+	if got := corr.Cycles[BrTaken] - base.Cycles[BrTaken]; math.Abs(got-wantExtra) > 1e-9 {
+		t.Errorf("fragmentation extra = %f, want %f", got, wantExtra)
+	}
+}
+
+func TestLongLatencyPenalty(t *testing.T) {
+	// Eq. 5/6: (lat-1) - (W-1)/2W per long-latency instruction.
+	cfg := cfgW(4)
+	p := emptyProfile(1000)
+	p.NMul = 10
+	p.NDiv = 2
+	st, err := Predict(Inputs{Prof: p}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := 3.0 / 8.0
+	want := 10*(float64(cfg.MulLatency-1)-adj) + 2*(float64(cfg.DivLatency-1)-adj)
+	if math.Abs(st.Cycles[MulDiv]-want) > 1e-9 {
+		t.Errorf("MulDiv = %f, want %f", st.Cycles[MulDiv], want)
+	}
+}
+
+func TestDepUnitFormula(t *testing.T) {
+	// Eq. 11: deps_unit(d) * ((W-d)/W)^2 summed over d < W.
+	cfg := cfgW(4)
+	p := emptyProfile(1000)
+	p.DepsUnit.Count[1] = 8
+	p.DepsUnit.Count[2] = 4
+	p.DepsUnit.Count[3] = 2
+	p.DepsUnit.Count[4] = 100 // beyond W-1: no penalty
+	st, err := Predict(Inputs{Prof: p}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 8*math.Pow(3.0/4, 2) + 4*math.Pow(2.0/4, 2) + 2*math.Pow(1.0/4, 2)
+	if math.Abs(st.Cycles[DepUnit]-want) > 1e-9 {
+		t.Errorf("DepUnit = %f, want %f", st.Cycles[DepUnit], want)
+	}
+}
+
+func TestDepLLFormula(t *testing.T) {
+	// Eq. 12: deps_LL(d) * (W-d)/W summed over d < W.
+	cfg := cfgW(4)
+	p := emptyProfile(1000)
+	p.DepsLL.Count[1] = 4
+	p.DepsLL.Count[3] = 4
+	st, err := Predict(Inputs{Prof: p}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4*(3.0/4) + 4*(1.0/4)
+	if math.Abs(st.Cycles[DepLL]-want) > 1e-9 {
+		t.Errorf("DepLL = %f, want %f", st.Cycles[DepLL], want)
+	}
+}
+
+func TestDepLoadFormula(t *testing.T) {
+	// Eq. 16, both ranges.
+	cfg := cfgW(4)
+	p := emptyProfile(1000)
+	p.DepsLd.Count[1] = 1 // d < W: (W-d)/W*(2W-d)/W + d/W
+	p.DepsLd.Count[5] = 1 // W <= d < 2W: ((2W-d)/W)^2
+	p.DepsLd.Count[9] = 7 // beyond 2W-1: free
+	st, err := Predict(Inputs{Prof: p}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := 4.0
+	want := ((w-1)/w)*((2*w-1)/w) + 1/w + math.Pow((2*w-5)/w, 2)
+	if math.Abs(st.Cycles[DepLd]-want) > 1e-9 {
+		t.Errorf("DepLd = %f, want %f", st.Cycles[DepLd], want)
+	}
+}
+
+func TestWidthOneEdgeCases(t *testing.T) {
+	// At W=1 there is no same-group sharing: unit/LL dependencies cost
+	// nothing; a load-use dependency at d=1 costs exactly 1 cycle.
+	cfg := cfgW(1)
+	p := emptyProfile(1000)
+	p.DepsUnit.Count[1] = 50
+	p.DepsLL.Count[1] = 50
+	p.DepsLd.Count[1] = 50
+	st, err := Predict(Inputs{Prof: p}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles[DepUnit] != 0 || st.Cycles[DepLL] != 0 {
+		t.Errorf("W=1 unit/LL dep penalties = %f/%f, want 0",
+			st.Cycles[DepUnit], st.Cycles[DepLL])
+	}
+	if st.Cycles[DepLd] != 50 {
+		t.Errorf("W=1 load dep penalty = %f, want 50", st.Cycles[DepLd])
+	}
+	// And the overlap adjustment vanishes: a miss costs its full latency.
+	in := Inputs{Prof: emptyProfile(1000), Mem: cache.Stats{ITLBMisses: 1}}
+	st2, _ := Predict(in, cfg)
+	if st2.Cycles[ITLBMiss] != float64(cfg.TLBWalkCycles()) {
+		t.Errorf("W=1 TLB penalty = %f, want %d", st2.Cycles[ITLBMiss], cfg.TLBWalkCycles())
+	}
+}
+
+func TestStackAccessors(t *testing.T) {
+	st := &Stack{N: 100}
+	st.Cycles[Base] = 25
+	st.Cycles[DepUnit] = 5
+	st.Cycles[DepLd] = 10
+	st.Cycles[IL1L2Hit] = 3
+	st.Cycles[DL2Miss] = 7
+	if st.CPI() != 0.5 {
+		t.Errorf("CPI = %f", st.CPI())
+	}
+	if math.Abs(st.Deps()-0.15) > 1e-12 {
+		t.Errorf("Deps = %f", st.Deps())
+	}
+	if st.L2Access() != 0.03 {
+		t.Errorf("L2Access = %f", st.L2Access())
+	}
+	if st.L2Miss() != 0.07 {
+		t.Errorf("L2Miss = %f", st.L2Miss())
+	}
+	if st.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	if _, err := Predict(Inputs{}, cfgW(4)); err == nil {
+		t.Error("nil profile accepted")
+	}
+	if _, err := Predict(Inputs{Prof: emptyProfile(0)}, cfgW(4)); err == nil {
+		t.Error("empty profile accepted")
+	}
+	bad := cfgW(4)
+	bad.Width = 0
+	if _, err := Predict(Inputs{Prof: emptyProfile(10)}, bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestComponentNames(t *testing.T) {
+	for c := Component(0); c < NumComponents; c++ {
+		if c.String() == "" {
+			t.Errorf("component %d unnamed", c)
+		}
+	}
+}
+
+// TestMonotoneInMissCounts checks the obvious first-order property:
+// more miss events can never predict fewer cycles.
+func TestMonotoneInMissCounts(t *testing.T) {
+	cfg := cfgW(4)
+	f := func(a, b uint16) bool {
+		lo, hi := int64(a), int64(a)+int64(b)
+		mk := func(m int64) float64 {
+			in := Inputs{Prof: emptyProfile(100000), Mem: cache.Stats{DL1Misses: m + 10, DL2Misses: m}}
+			st, err := Predict(in, cfg)
+			if err != nil {
+				return math.NaN()
+			}
+			return st.Total()
+		}
+		return mk(hi) >= mk(lo)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDepPenaltiesDecreaseWithDistance: for every producer class, a
+// dependency at larger distance can never cost more.
+func TestDepPenaltiesDecreaseWithDistance(t *testing.T) {
+	cfg := cfgW(4)
+	costAt := func(kind int, d int) float64 {
+		p := emptyProfile(1000)
+		switch kind {
+		case 0:
+			p.DepsUnit.Count[d] = 1
+		case 1:
+			p.DepsLL.Count[d] = 1
+		default:
+			p.DepsLd.Count[d] = 1
+		}
+		st, _ := Predict(Inputs{Prof: p}, cfg)
+		return st.Total() - 250 // subtract base
+	}
+	for kind := 0; kind < 3; kind++ {
+		prev := math.Inf(1)
+		for d := 1; d < 8; d++ {
+			c := costAt(kind, d)
+			if c > prev+1e-9 {
+				t.Errorf("kind %d: penalty at d=%d (%f) exceeds d=%d (%f)", kind, d, c, d-1, prev)
+			}
+			prev = c
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package dse implements the paper's design-space exploration: the
+// Table 2 space of 192 design points (3 depth/frequency settings × 4
+// widths × 4 L2 sizes × 2 L2 associativities × 2 branch predictors),
+// evaluated either with the mechanistic model alone (seconds) or
+// validated against the detailed simulator (the expensive path the
+// model exists to avoid).
+package dse
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/pipeline"
+	"repro/internal/power"
+	"repro/internal/uarch"
+)
+
+// Space enumerates the Table 2 design space starting from base (whose
+// L1 caches, latencies and TLBs are kept).
+func Space(base uarch.Config) []uarch.Config {
+	var out []uarch.Config
+	widths := []int{1, 2, 3, 4}
+	l2SizesKB := []int{128, 256, 512, 1024}
+	l2Ways := []int{8, 16}
+	preds := []uarch.PredictorKind{uarch.PredGShare1KB, uarch.PredHybrid3_5KB}
+	for _, df := range uarch.DepthFreqPoints() {
+		for _, w := range widths {
+			for _, sz := range l2SizesKB {
+				for _, ways := range l2Ways {
+					for _, pk := range preds {
+						c := base.WithDepth(df).WithWidth(w).WithL2(sz, ways).WithPredictor(pk)
+						c.Name = fmt.Sprintf("d%d-w%d-l2_%dk_%dw-%s", df.Stages, w, sz, ways, pk)
+						out = append(out, c)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Point is one evaluated design point.
+type Point struct {
+	Cfg uarch.Config
+
+	ModelStack  *core.Stack
+	ModelCycles float64
+	ModelCPI    float64
+	ModelSecs   float64
+	ModelEDP    float64 // J·s, using model cycles
+
+	// Populated only by ExploreValidated.
+	Sim     *pipeline.Result
+	SimCPI  float64
+	SimSecs float64
+	SimEDP  float64
+	CPIErr  float64 // |model-sim|/sim
+}
+
+// statsKey identifies the (hierarchy, predictor) combination a set of
+// mixed program/machine statistics belongs to. The mechanistic model's
+// key property — one profiling pass covers the whole space — shows up
+// here: 192 design points share 16 statistics sets.
+type statsKey struct {
+	l2SizeKB int64
+	l2Ways   int
+	pred     uarch.PredictorKind
+}
+
+// inputsMemo caches model inputs per statsKey, concurrency-safe.
+type inputsMemo struct {
+	pw *harness.Profiled
+	mu sync.Mutex
+	m  map[statsKey]core.Inputs
+}
+
+func newInputsMemo(pw *harness.Profiled) *inputsMemo {
+	return &inputsMemo{pw: pw, m: make(map[statsKey]core.Inputs)}
+}
+
+func (im *inputsMemo) get(cfg uarch.Config) (core.Inputs, error) {
+	key := statsKey{cfg.Hier.L2.SizeBytes / 1024, cfg.Hier.L2.Ways, cfg.Predictor}
+	im.mu.Lock()
+	in, ok := im.m[key]
+	im.mu.Unlock()
+	if ok {
+		return in, nil
+	}
+	// Replay outside the lock; duplicate work on a race is harmless.
+	in, err := im.pw.Inputs(cfg)
+	if err != nil {
+		return core.Inputs{}, err
+	}
+	im.mu.Lock()
+	im.m[key] = in
+	im.mu.Unlock()
+	return in, nil
+}
+
+// Explore evaluates the model on every configuration. One trace replay
+// per distinct (hierarchy, predictor) pair collects the mixed
+// statistics; model evaluation itself is closed-form.
+func Explore(pw *harness.Profiled, cfgs []uarch.Config, pm power.Model) ([]Point, error) {
+	return explore(newInputsMemo(pw), cfgs, pm)
+}
+
+func explore(memo *inputsMemo, cfgs []uarch.Config, pm power.Model) ([]Point, error) {
+	out := make([]Point, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		in, err := memo.get(cfg)
+		if err != nil {
+			return nil, err
+		}
+		st, err := core.Predict(in, cfg)
+		if err != nil {
+			return nil, err
+		}
+		ev := power.EventsFrom(in.Prof, in.Mem, in.Branch)
+		edp, err := pm.EDP(ev, cfg, st.Total())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Point{
+			Cfg:         cfg,
+			ModelStack:  st,
+			ModelCycles: st.Total(),
+			ModelCPI:    st.CPI(),
+			ModelSecs:   cfg.Seconds(st.Total()),
+			ModelEDP:    edp,
+		})
+	}
+	return out, nil
+}
+
+// ExploreValidated additionally runs the detailed simulator for every
+// configuration, in parallel across workers (≤0 means GOMAXPROCS).
+func ExploreValidated(pw *harness.Profiled, cfgs []uarch.Config, pm power.Model, workers int) ([]Point, error) {
+	memo := newInputsMemo(pw)
+	pts, err := explore(memo, cfgs, pm)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if first == nil {
+			first = err
+		}
+		mu.Unlock()
+	}
+	sem := make(chan struct{}, workers)
+	for i := range pts {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(p *Point) {
+			defer func() { <-sem; wg.Done() }()
+			sim, err := pipeline.Simulate(pw.Trace, p.Cfg)
+			if err != nil {
+				fail(err)
+				return
+			}
+			in, err := memo.get(p.Cfg)
+			if err != nil {
+				fail(err)
+				return
+			}
+			ev := power.EventsFrom(in.Prof, in.Mem, in.Branch)
+			edp, err := pm.EDP(ev, p.Cfg, float64(sim.Cycles))
+			if err != nil {
+				fail(err)
+				return
+			}
+			p.Sim = &sim
+			p.SimCPI = sim.CPI()
+			p.SimSecs = p.Cfg.Seconds(float64(sim.Cycles))
+			p.SimEDP = edp
+			if p.SimCPI > 0 {
+				p.CPIErr = abs(p.ModelCPI-p.SimCPI) / p.SimCPI
+			}
+		}(&pts[i])
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first
+	}
+	return pts, nil
+}
+
+// BestEDP returns the index of the point with the lowest EDP according
+// to the model and according to the detailed simulator (the latter is
+// -1 unless ExploreValidated filled the simulation fields).
+func BestEDP(pts []Point) (modelBest, simBest int) {
+	modelBest, simBest = -1, -1
+	for i := range pts {
+		if modelBest < 0 || pts[i].ModelEDP < pts[modelBest].ModelEDP {
+			modelBest = i
+		}
+		if pts[i].Sim != nil && (simBest < 0 || pts[i].SimEDP < pts[simBest].SimEDP) {
+			simBest = i
+		}
+	}
+	return modelBest, simBest
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

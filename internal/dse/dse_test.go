@@ -1,0 +1,132 @@
+package dse
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/pipeline"
+	"repro/internal/power"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+func TestSpaceIsTable2(t *testing.T) {
+	space := Space(uarch.Default())
+	if len(space) != 192 {
+		t.Fatalf("space has %d points, want 192 (3 depth × 4 width × 4 L2 sizes × 2 ways × 2 predictors)", len(space))
+	}
+	seen := map[string]bool{}
+	widths := map[int]bool{}
+	l2s := map[int64]bool{}
+	preds := map[uarch.PredictorKind]bool{}
+	stages := map[int]bool{}
+	for _, c := range space {
+		if err := c.Validate(); err != nil {
+			t.Errorf("invalid point %s: %v", c.Name, err)
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate point name %q", c.Name)
+		}
+		seen[c.Name] = true
+		widths[c.Width] = true
+		l2s[c.Hier.L2.SizeBytes] = true
+		preds[c.Predictor] = true
+		stages[c.PipelineStages()] = true
+	}
+	if len(widths) != 4 || len(l2s) != 4 || len(preds) != 2 || len(stages) != 3 {
+		t.Errorf("axes coverage: widths=%d l2=%d preds=%d stages=%d", len(widths), len(l2s), len(preds), len(stages))
+	}
+}
+
+func profiled(t *testing.T, name string) *harness.Profiled {
+	t.Helper()
+	spec, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := harness.ProfileProgram(spec.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pw
+}
+
+func TestExploreModelOnly(t *testing.T) {
+	pw := profiled(t, "gsm_c")
+	space := Space(uarch.Default())[:24] // one depth point, all widths/L2s/preds
+	pts, err := Explore(pw, space, power.NewModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(space) {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.ModelCPI <= 0 || p.ModelEDP <= 0 || p.ModelSecs <= 0 {
+			t.Errorf("point %s: %+v", p.Cfg.Name, p)
+		}
+		if p.Sim != nil {
+			t.Errorf("model-only exploration filled simulation fields")
+		}
+	}
+	// Wider configurations at otherwise equal parameters must not
+	// predict more cycles.
+	byName := map[string]Point{}
+	for _, p := range pts {
+		byName[p.Cfg.Name] = p
+	}
+	w1 := byName["d5-w1-l2_512k_8w-gshare-1KB"]
+	w4 := byName["d5-w4-l2_512k_8w-gshare-1KB"]
+	if w4.ModelCycles >= w1.ModelCycles {
+		t.Errorf("W=4 (%f cycles) not faster than W=1 (%f)", w4.ModelCycles, w1.ModelCycles)
+	}
+}
+
+func TestExploreValidatedAgreesWithModel(t *testing.T) {
+	pw := profiled(t, "tiff2bw")
+	space := Space(uarch.Default())
+	// Subsample the space for test speed: every 16th point.
+	var sub []uarch.Config
+	for i := 0; i < len(space); i += 16 {
+		sub = append(sub, space[i])
+	}
+	pts, err := ExploreValidated(pw, sub, power.NewModel(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.Sim == nil {
+			t.Fatalf("point %s missing simulation", p.Cfg.Name)
+		}
+		if p.CPIErr > 0.20 {
+			t.Errorf("point %s: model error %.1f%% too large (model %.3f sim %.3f)",
+				p.Cfg.Name, 100*p.CPIErr, p.ModelCPI, p.SimCPI)
+		}
+		if p.SimEDP <= 0 {
+			t.Errorf("point %s: bad detailed EDP", p.Cfg.Name)
+		}
+	}
+}
+
+func TestBestEDP(t *testing.T) {
+	pts := []Point{
+		{ModelEDP: 3, SimEDP: 5},
+		{ModelEDP: 1, SimEDP: 9},
+		{ModelEDP: 2, SimEDP: 4},
+	}
+	m, s := BestEDP(pts)
+	if m != 1 {
+		t.Errorf("model best = %d, want 1", m)
+	}
+	if s != -1 {
+		t.Errorf("sim best = %d, want -1 (no sim results)", s)
+	}
+	r := pipelineResultStub()
+	pts[2].Sim = &r
+	pts[0].Sim = &r
+	if _, s = BestEDP(pts); s != 2 {
+		t.Errorf("sim best = %d, want 2", s)
+	}
+}
+
+func pipelineResultStub() pipeline.Result { return pipeline.Result{} }

@@ -1,0 +1,243 @@
+// Package funcsim is the functional (instruction-set) simulator. It
+// plays the role M5's functional mode plays in the paper: it executes a
+// program to produce the dynamic instruction stream that profiling and
+// timing simulation consume.
+//
+// The simulator is architecturally simple: 32 64-bit registers (r0
+// hardwired to zero) and a flat word-addressed data memory. Instruction
+// memory is the static instruction array itself; PCs are static indices.
+package funcsim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// ErrMaxInstructions is returned when execution exceeds the configured
+// dynamic instruction budget without reaching HALT.
+var ErrMaxInstructions = errors.New("funcsim: dynamic instruction limit exceeded")
+
+// DefaultMaxInstructions bounds runaway programs.
+const DefaultMaxInstructions = 200_000_000
+
+// Machine executes one program.
+type Machine struct {
+	Instrs  []isa.Instr
+	Mem     []int64
+	Regs    [isa.NumRegs]int64
+	PC      int64
+	Retired int64
+	Halted  bool
+
+	// MaxInstructions bounds the run; DefaultMaxInstructions if zero.
+	MaxInstructions int64
+}
+
+// New builds a machine for the program: it assembles the IR, allocates
+// and initializes data memory.
+func New(p *program.Program) (*Machine, error) {
+	ins, err := p.Build()
+	if err != nil {
+		return nil, err
+	}
+	if p.MemWords <= 0 {
+		return nil, fmt.Errorf("funcsim: program %q has no data memory", p.Name)
+	}
+	m := &Machine{Instrs: ins, Mem: make([]int64, p.MemWords)}
+	for a, v := range p.Data {
+		if a < 0 || a >= p.MemWords {
+			return nil, fmt.Errorf("funcsim: program %q: data init address %d out of range [0,%d)", p.Name, a, p.MemWords)
+		}
+		m.Mem[a] = v
+	}
+	return m, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(p *program.Program) *Machine {
+	m, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Run executes until HALT, streaming every retired instruction to sink
+// (which may be nil to execute without observation). It returns the
+// number of dynamically executed instructions (HALT itself is not
+// counted or streamed: it never enters the modeled pipeline's trace).
+func (m *Machine) Run(sink trace.Consumer) (int64, error) {
+	maxN := m.MaxInstructions
+	if maxN <= 0 {
+		maxN = DefaultMaxInstructions
+	}
+	var d trace.DynInst
+	memLen := int64(len(m.Mem))
+	for !m.Halted {
+		if m.PC < 0 || m.PC >= int64(len(m.Instrs)) {
+			return m.Retired, fmt.Errorf("funcsim: PC %d out of range [0,%d)", m.PC, len(m.Instrs))
+		}
+		in := &m.Instrs[m.PC]
+		if in.Op == isa.HALT {
+			m.Halted = true
+			break
+		}
+		if m.Retired >= maxN {
+			return m.Retired, ErrMaxInstructions
+		}
+
+		nextPC := m.PC + 1
+		d = trace.DynInst{
+			Seq:   m.Retired,
+			PC:    m.PC,
+			Op:    in.Op,
+			Class: isa.ClassOf(in.Op),
+		}
+
+		s1 := m.Regs[in.Src1]
+		s2 := m.Regs[in.Src2]
+		var wval int64
+		writes := false
+
+		switch in.Op {
+		case isa.NOP:
+		case isa.ADD:
+			wval, writes = s1+s2, true
+		case isa.SUB:
+			wval, writes = s1-s2, true
+		case isa.AND:
+			wval, writes = s1&s2, true
+		case isa.OR:
+			wval, writes = s1|s2, true
+		case isa.XOR:
+			wval, writes = s1^s2, true
+		case isa.SHL:
+			wval, writes = s1<<uint64(s2&63), true
+		case isa.SHR:
+			wval, writes = int64(uint64(s1)>>uint64(s2&63)), true
+		case isa.SRA:
+			wval, writes = s1>>uint64(s2&63), true
+		case isa.SLT:
+			wval, writes = boolTo64(s1 < s2), true
+		case isa.ADDI:
+			wval, writes = s1+in.Imm, true
+		case isa.ANDI:
+			wval, writes = s1&in.Imm, true
+		case isa.ORI:
+			wval, writes = s1|in.Imm, true
+		case isa.XORI:
+			wval, writes = s1^in.Imm, true
+		case isa.SHLI:
+			wval, writes = s1<<uint64(in.Imm&63), true
+		case isa.SHRI:
+			wval, writes = int64(uint64(s1)>>uint64(in.Imm&63)), true
+		case isa.SRAI:
+			wval, writes = s1>>uint64(in.Imm&63), true
+		case isa.SLTI:
+			wval, writes = boolTo64(s1 < in.Imm), true
+		case isa.LUI:
+			wval, writes = in.Imm, true
+		case isa.MUL:
+			wval, writes = s1*s2, true
+		case isa.DIV:
+			if s2 == 0 {
+				wval = 0
+			} else {
+				wval = s1 / s2
+			}
+			writes = true
+		case isa.REM:
+			if s2 == 0 {
+				wval = 0
+			} else {
+				wval = s1 % s2
+			}
+			writes = true
+		case isa.LD:
+			addr := s1 + in.Imm
+			if addr < 0 || addr >= memLen {
+				return m.Retired, fmt.Errorf("funcsim: load address %d out of range at PC %d (%v)", addr, m.PC, in)
+			}
+			wval, writes = m.Mem[addr], true
+			d.EffAddr, d.IsLoad = addr, true
+		case isa.ST:
+			addr := s1 + in.Imm
+			if addr < 0 || addr >= memLen {
+				return m.Retired, fmt.Errorf("funcsim: store address %d out of range at PC %d (%v)", addr, m.PC, in)
+			}
+			m.Mem[addr] = s2
+			d.EffAddr, d.IsStore = addr, true
+		case isa.BEQ, isa.BNE, isa.BLT, isa.BGE:
+			taken := false
+			switch in.Op {
+			case isa.BEQ:
+				taken = s1 == s2
+			case isa.BNE:
+				taken = s1 != s2
+			case isa.BLT:
+				taken = s1 < s2
+			case isa.BGE:
+				taken = s1 >= s2
+			}
+			d.IsBranch, d.Taken, d.Target = true, taken, int64(in.Target)
+			if taken {
+				nextPC = int64(in.Target)
+			}
+		case isa.JMP:
+			d.IsJump, d.Taken, d.Target = true, true, int64(in.Target)
+			nextPC = int64(in.Target)
+		case isa.JAL:
+			d.IsJump, d.Taken, d.Target = true, true, int64(in.Target)
+			if in.Dst != isa.Zero {
+				wval, writes = m.PC+1, true
+			}
+			nextPC = int64(in.Target)
+		default:
+			return m.Retired, fmt.Errorf("funcsim: unimplemented opcode %v at PC %d", in.Op, m.PC)
+		}
+
+		if writes && in.Dst != isa.Zero {
+			m.Regs[in.Dst] = wval
+			d.Dst, d.HasDst = in.Dst, true
+		}
+		if in.Src1 != isa.Zero || in.Src2 != isa.Zero {
+			d.NumSrc = 0
+			var tmp [4]isa.Reg
+			for _, r := range in.SrcRegs(tmp[:0]) {
+				if d.NumSrc < 2 {
+					d.Src[d.NumSrc] = r
+					d.NumSrc++
+				}
+			}
+		}
+		d.NextPC = nextPC
+
+		m.PC = nextPC
+		m.Retired++
+		if sink != nil {
+			sink.Consume(&d)
+		}
+	}
+	return m.Retired, nil
+}
+
+// RunProgram assembles and runs p, streaming to sink. Convenience for
+// the common one-shot case.
+func RunProgram(p *program.Program, sink trace.Consumer) (int64, error) {
+	m, err := New(p)
+	if err != nil {
+		return 0, err
+	}
+	return m.Run(sink)
+}
+
+func boolTo64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

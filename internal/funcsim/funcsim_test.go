@@ -1,0 +1,286 @@
+package funcsim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// run executes a freshly built single-block program and returns the
+// machine for state inspection.
+func run(t *testing.T, build func(b *program.Builder)) *Machine {
+	t.Helper()
+	p := program.New("t", 256)
+	b := p.Block("main")
+	build(b)
+	b.Halt()
+	m := MustNew(p)
+	if _, err := m.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestALUSemantics(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *program.Builder)
+		reg   isa.Reg
+		want  int64
+	}{
+		{"add", func(b *program.Builder) { b.Li(1, 3).Li(2, 4).Add(3, 1, 2) }, 3, 7},
+		{"sub", func(b *program.Builder) { b.Li(1, 3).Li(2, 4).Sub(3, 1, 2) }, 3, -1},
+		{"and", func(b *program.Builder) { b.Li(1, 6).Li(2, 3).And(3, 1, 2) }, 3, 2},
+		{"or", func(b *program.Builder) { b.Li(1, 6).Li(2, 3).Or(3, 1, 2) }, 3, 7},
+		{"xor", func(b *program.Builder) { b.Li(1, 6).Li(2, 3).Xor(3, 1, 2) }, 3, 5},
+		{"shl", func(b *program.Builder) { b.Li(1, 3).Li(2, 4).Shl(3, 1, 2) }, 3, 48},
+		{"shr", func(b *program.Builder) { b.Li(1, -8).Li(2, 62).Shr(3, 1, 2) }, 3, 3},
+		{"sra", func(b *program.Builder) { b.Li(1, -8).Li(2, 2).Sra(3, 1, 2) }, 3, -2},
+		{"slt true", func(b *program.Builder) { b.Li(1, -1).Li(2, 0).Slt(3, 1, 2) }, 3, 1},
+		{"slt false", func(b *program.Builder) { b.Li(1, 5).Li(2, 0).Slt(3, 1, 2) }, 3, 0},
+		{"addi", func(b *program.Builder) { b.Li(1, 3).Addi(3, 1, -5) }, 3, -2},
+		{"andi", func(b *program.Builder) { b.Li(1, 7).Andi(3, 1, 5) }, 3, 5},
+		{"ori", func(b *program.Builder) { b.Li(1, 8).Ori(3, 1, 5) }, 3, 13},
+		{"xori", func(b *program.Builder) { b.Li(1, 6).Xori(3, 1, 3) }, 3, 5},
+		{"shli", func(b *program.Builder) { b.Li(1, 3).Shli(3, 1, 4) }, 3, 48},
+		{"shri", func(b *program.Builder) { b.Li(1, 16).Shri(3, 1, 2) }, 3, 4},
+		{"srai", func(b *program.Builder) { b.Li(1, -16).Srai(3, 1, 2) }, 3, -4},
+		{"slti", func(b *program.Builder) { b.Li(1, 3).Slti(3, 1, 4) }, 3, 1},
+		{"lui", func(b *program.Builder) { b.Li(3, 12345) }, 3, 12345},
+		{"mul", func(b *program.Builder) { b.Li(1, -3).Li(2, 4).Mul(3, 1, 2) }, 3, -12},
+		{"div", func(b *program.Builder) { b.Li(1, 17).Li(2, 5).Div(3, 1, 2) }, 3, 3},
+		{"div neg", func(b *program.Builder) { b.Li(1, -17).Li(2, 5).Div(3, 1, 2) }, 3, -3},
+		{"div by zero", func(b *program.Builder) { b.Li(1, 17).Div(3, 1, 0) }, 3, 0},
+		{"rem", func(b *program.Builder) { b.Li(1, 17).Li(2, 5).Rem(3, 1, 2) }, 3, 2},
+		{"rem by zero", func(b *program.Builder) { b.Li(1, 17).Rem(3, 1, 0) }, 3, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := run(t, c.build)
+			if got := m.Regs[c.reg]; got != c.want {
+				t.Errorf("%s = %d, want %d", c.reg, got, c.want)
+			}
+		})
+	}
+}
+
+func TestZeroRegisterIsImmutable(t *testing.T) {
+	m := run(t, func(b *program.Builder) {
+		b.Li(0, 99)
+		b.Addi(0, 0, 5)
+		b.Add(1, 0, 0)
+	})
+	if m.Regs[0] != 0 {
+		t.Errorf("r0 = %d, want 0", m.Regs[0])
+	}
+	if m.Regs[1] != 0 {
+		t.Errorf("r1 = %d, want 0", m.Regs[1])
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	m := run(t, func(b *program.Builder) {
+		b.Li(1, 7)
+		b.Li(2, 10)
+		b.St(1, 2, 5)  // mem[15] = 7
+		b.Ld(3, 2, 5)  // r3 = mem[15]
+		b.Ld(4, 0, 15) // r4 = mem[15]
+	})
+	if m.Mem[15] != 7 || m.Regs[3] != 7 || m.Regs[4] != 7 {
+		t.Errorf("mem[15]=%d r3=%d r4=%d, want all 7", m.Mem[15], m.Regs[3], m.Regs[4])
+	}
+}
+
+func TestDataInitialization(t *testing.T) {
+	p := program.New("t", 64)
+	p.SetDataSlice(8, []int64{5, 6})
+	b := p.Block("main")
+	b.Ld(1, 0, 8)
+	b.Ld(2, 0, 9)
+	b.Halt()
+	m := MustNew(p)
+	if _, err := m.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[1] != 5 || m.Regs[2] != 6 {
+		t.Errorf("r1=%d r2=%d, want 5 6", m.Regs[1], m.Regs[2])
+	}
+}
+
+func TestBranchSemantics(t *testing.T) {
+	// Count down from 5 with BNE; then exercise BEQ/BLT/BGE arms.
+	p := program.New("t", 16)
+	b := p.Block("init")
+	b.Li(1, 5)
+	b.Li(2, 0)
+	b = p.Block("loop")
+	b.Addi(2, 2, 1)
+	b.Addi(1, 1, -1)
+	b.Bne(1, 0, "loop")
+	b = p.Block("after")
+	b.Beq(1, 0, "ok")
+	b.Li(3, 111) // skipped
+	b = p.Block("ok")
+	b.Li(4, -1)
+	b.Blt(4, 0, "ok2")
+	b.Li(3, 222) // skipped
+	b = p.Block("ok2")
+	b.Bge(4, 0, "bad")
+	b.Li(5, 1)
+	b.Halt()
+	b = p.Block("bad")
+	b.Li(5, 2)
+	b.Halt()
+
+	m := MustNew(p)
+	if _, err := m.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[2] != 5 {
+		t.Errorf("loop iterations = %d, want 5", m.Regs[2])
+	}
+	if m.Regs[3] != 0 {
+		t.Errorf("taken branches executed skipped code (r3=%d)", m.Regs[3])
+	}
+	if m.Regs[5] != 1 {
+		t.Errorf("bge taken when it should not be (r5=%d)", m.Regs[5])
+	}
+}
+
+func TestJalRecordsReturnAddress(t *testing.T) {
+	p := program.New("t", 16)
+	b := p.Block("main")
+	b.Nop()
+	b.Jal(1, "sub") // at index 1; return PC is 2
+	b = p.Block("cont")
+	b.Halt()
+	b = p.Block("sub")
+	b.Li(2, 7)
+	b.Jmp("cont")
+	m := MustNew(p)
+	if _, err := m.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[1] != 2 {
+		t.Errorf("jal link = %d, want 2", m.Regs[1])
+	}
+	if m.Regs[2] != 7 {
+		t.Errorf("subroutine did not run (r2=%d)", m.Regs[2])
+	}
+}
+
+func TestOutOfRangeAccessesFail(t *testing.T) {
+	t.Run("load", func(t *testing.T) {
+		p := program.New("t", 8)
+		p.Block("m").Ld(1, 0, 100).Halt()
+		m := MustNew(p)
+		if _, err := m.Run(nil); err == nil {
+			t.Error("out-of-range load succeeded")
+		}
+	})
+	t.Run("store negative", func(t *testing.T) {
+		p := program.New("t", 8)
+		p.Block("m").Li(1, -3).St(1, 1, 0).Halt()
+		m := MustNew(p)
+		if _, err := m.Run(nil); err == nil {
+			t.Error("negative-address store succeeded")
+		}
+	})
+}
+
+func TestInstructionLimit(t *testing.T) {
+	p := program.New("t", 8)
+	p.Block("spin").Jmp("spin")
+	m := MustNew(p)
+	m.MaxInstructions = 100
+	_, err := m.Run(nil)
+	if !errors.Is(err, ErrMaxInstructions) {
+		t.Errorf("err = %v, want ErrMaxInstructions", err)
+	}
+}
+
+func TestTraceRecords(t *testing.T) {
+	p := program.New("t", 32)
+	b := p.Block("main")
+	b.Li(1, 3)       // seq 0
+	b.St(1, 0, 9)    // seq 1
+	b.Ld(2, 0, 9)    // seq 2
+	b.Beq(1, 2, "x") // seq 3, taken
+	b.Nop()
+	b = p.Block("x")
+	b.Halt()
+	rec := &trace.Recorder{}
+	n, err := RunProgram(p, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("retired %d, want 4 (HALT not counted)", n)
+	}
+	ds := rec.Insts
+	if !ds[1].IsStore || ds[1].EffAddr != 9 {
+		t.Errorf("store record = %+v", ds[1])
+	}
+	if !ds[2].IsLoad || ds[2].EffAddr != 9 || !ds[2].HasDst || ds[2].Dst != 2 {
+		t.Errorf("load record = %+v", ds[2])
+	}
+	if !ds[3].IsBranch || !ds[3].Taken {
+		t.Errorf("branch record = %+v", ds[3])
+	}
+	if ds[3].NumSrc != 2 {
+		t.Errorf("branch sources = %d, want 2", ds[3].NumSrc)
+	}
+	if ds[3].NextPC != ds[3].Target {
+		t.Errorf("taken branch NextPC=%d Target=%d", ds[3].NextPC, ds[3].Target)
+	}
+	for i, d := range ds {
+		if d.Seq != int64(i) {
+			t.Errorf("seq %d at position %d", d.Seq, i)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	build := func() *program.Program {
+		p := program.New("t", 64)
+		p.SetDataSlice(0, []int64{9, 8, 7})
+		b := p.Block("main")
+		b.Li(1, 0)
+		b.Li(2, 3)
+		b.Li(3, 0)
+		b = p.Block("loop")
+		b.Ld(4, 1, 0)
+		b.Add(3, 3, 4)
+		b.Addi(1, 1, 1)
+		b.Blt(1, 2, "loop")
+		b = p.Block("end")
+		b.Halt()
+		return p
+	}
+	m1, m2 := MustNew(build()), MustNew(build())
+	n1, _ := m1.Run(nil)
+	n2, _ := m2.Run(nil)
+	if n1 != n2 || m1.Regs[3] != m2.Regs[3] {
+		t.Errorf("non-deterministic execution: n=%d/%d sum=%d/%d", n1, n2, m1.Regs[3], m2.Regs[3])
+	}
+	if m1.Regs[3] != 24 {
+		t.Errorf("sum = %d, want 24", m1.Regs[3])
+	}
+}
+
+func TestNewRejectsBadPrograms(t *testing.T) {
+	p := program.New("t", 0) // no memory
+	p.Block("m").Halt()
+	if _, err := New(p); err == nil {
+		t.Error("program with no memory accepted")
+	}
+	p2 := program.New("t", 8)
+	p2.SetData(100, 1) // out of range init
+	p2.Block("m").Halt()
+	if _, err := New(p2); err == nil {
+		t.Error("out-of-range data init accepted")
+	}
+}

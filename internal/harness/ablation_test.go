@@ -1,0 +1,23 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+func TestAblationTakenFragmentation(t *testing.T) {
+	cfg := uarch.Default()
+	var sum0, sum1 float64
+	for _, spec := range workloads.MiBench() {
+		pw := MustProfileProgram(spec.Build())
+		v0, _ := pw.ValidateOpts(cfg, core.Options{})
+		v1, _ := pw.ValidateOpts(cfg, core.Options{TakenFragmentation: true})
+		t.Logf("%-14s paper=%.2f%% corrected=%.2f%%", spec.Name, 100*v0.AbsErr(), 100*v1.AbsErr())
+		sum0 += v0.AbsErr()
+		sum1 += v1.AbsErr()
+	}
+	t.Logf("avg: paper-model=%.2f%% corrected=%.2f%%", 100*sum0/19, 100*sum1/19)
+}

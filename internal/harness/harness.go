@@ -1,0 +1,140 @@
+// Package harness wires the substrates together: it runs the
+// functional simulator to produce a trace and the machine-independent
+// profile (once per program), collects mixed program/machine statistics
+// for chosen cache hierarchies and branch predictors, evaluates the
+// mechanistic model, and validates it against the detailed pipeline
+// simulator. It mirrors the modeling framework of Figure 2 in the paper.
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/branch"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/funcsim"
+	"repro/internal/pipeline"
+	"repro/internal/profile"
+	"repro/internal/program"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+)
+
+// Profiled is a program together with its recorded dynamic trace and
+// machine-independent profile. Profiling happens once; the trace is
+// replayed for every design point of interest.
+type Profiled struct {
+	Name  string
+	Trace []trace.DynInst
+	Prof  *profile.Profile
+}
+
+// ProfileProgram runs p once, recording the trace and the profile.
+func ProfileProgram(p *program.Program) (*Profiled, error) {
+	rec := &trace.Recorder{}
+	col := profile.NewCollector(p.Name)
+	n, err := funcsim.RunProgram(p, trace.Tee{rec, col})
+	if err != nil {
+		return nil, fmt.Errorf("harness: profiling %q: %w", p.Name, err)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("harness: program %q executed zero instructions", p.Name)
+	}
+	return &Profiled{Name: p.Name, Trace: rec.Insts, Prof: col.Result()}, nil
+}
+
+// MustProfileProgram is ProfileProgram that panics on error.
+func MustProfileProgram(p *program.Program) *Profiled {
+	pw, err := ProfileProgram(p)
+	if err != nil {
+		panic(err)
+	}
+	return pw
+}
+
+// MachineStats replays the trace through the cache hierarchy and
+// branch predictor of cfg, producing the mixed program/machine inputs
+// of the model.
+func MachineStats(tr []trace.DynInst, cfg uarch.Config) (cache.Stats, branch.Stats, error) {
+	h, err := cache.NewHierarchy(cfg.Hier)
+	if err != nil {
+		return cache.Stats{}, branch.Stats{}, err
+	}
+	cc := cache.NewCollector(h)
+	bc := branch.NewCollector(cfg.Predictor.New())
+	for i := range tr {
+		d := &tr[i]
+		cc.Consume(d)
+		bc.Consume(d)
+	}
+	return cc.Stats(), bc.S, nil
+}
+
+// Inputs assembles the full model inputs for one design point.
+func (pw *Profiled) Inputs(cfg uarch.Config) (core.Inputs, error) {
+	ms, bs, err := MachineStats(pw.Trace, cfg)
+	if err != nil {
+		return core.Inputs{}, err
+	}
+	return core.Inputs{Prof: pw.Prof, Mem: ms, Branch: bs}, nil
+}
+
+// Predict profiles-to-prediction for one design point.
+func (pw *Profiled) Predict(cfg uarch.Config) (*core.Stack, error) {
+	return pw.PredictOpts(cfg, core.Options{})
+}
+
+// PredictOpts is Predict with explicit model options (for the
+// second-order-correction ablations).
+func (pw *Profiled) PredictOpts(cfg uarch.Config, opt core.Options) (*core.Stack, error) {
+	in, err := pw.Inputs(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return core.PredictOpts(in, cfg, opt)
+}
+
+// Validation compares the model against the detailed simulator on one
+// design point.
+type Validation struct {
+	Name     string
+	Cfg      uarch.Config
+	Model    *core.Stack
+	Sim      pipeline.Result
+	ModelCPI float64
+	SimCPI   float64
+}
+
+// AbsErr returns |model-sim|/sim.
+func (v Validation) AbsErr() float64 {
+	if v.SimCPI == 0 {
+		return 0
+	}
+	return math.Abs(v.ModelCPI-v.SimCPI) / v.SimCPI
+}
+
+// Validate runs both the model and the detailed simulator.
+func (pw *Profiled) Validate(cfg uarch.Config) (Validation, error) {
+	return pw.ValidateOpts(cfg, core.Options{})
+}
+
+// ValidateOpts is Validate with explicit model options.
+func (pw *Profiled) ValidateOpts(cfg uarch.Config, opt core.Options) (Validation, error) {
+	st, err := pw.PredictOpts(cfg, opt)
+	if err != nil {
+		return Validation{}, err
+	}
+	sim, err := pipeline.Simulate(pw.Trace, cfg)
+	if err != nil {
+		return Validation{}, err
+	}
+	return Validation{
+		Name:     pw.Name,
+		Cfg:      cfg,
+		Model:    st,
+		Sim:      sim,
+		ModelCPI: st.CPI(),
+		SimCPI:   sim.CPI(),
+	}, nil
+}

@@ -1,0 +1,222 @@
+// Package isa defines the instruction set of the small load/store RISC
+// machine used throughout this repository. The ISA is deliberately
+// minimal — a classic 32-register, word-addressed load/store design —
+// because the mechanistic model only cares about instruction classes
+// (unit-latency ALU ops, long-latency multiply/divide, loads, stores,
+// branches), register dataflow and memory addresses.
+package isa
+
+import "fmt"
+
+// NumRegs is the number of architectural registers. Register 0 is
+// hardwired to zero, as in MIPS/RISC-V.
+const NumRegs = 32
+
+// Reg names an architectural register (0..NumRegs-1).
+type Reg uint8
+
+// Zero is the hardwired zero register.
+const Zero Reg = 0
+
+func (r Reg) String() string { return fmt.Sprintf("r%d", uint8(r)) }
+
+// Op enumerates the opcodes of the ISA.
+type Op uint8
+
+const (
+	// ALU, unit latency.
+	NOP  Op = iota
+	ADD     // dst = src1 + src2
+	SUB     // dst = src1 - src2
+	AND     // dst = src1 & src2
+	OR      // dst = src1 | src2
+	XOR     // dst = src1 ^ src2
+	SHL     // dst = src1 << (src2 & 63)
+	SHR     // dst = src1 >> (src2 & 63) (logical)
+	SRA     // dst = src1 >> (src2 & 63) (arithmetic)
+	SLT     // dst = src1 < src2 ? 1 : 0 (signed)
+	ADDI    // dst = src1 + imm
+	ANDI    // dst = src1 & imm
+	ORI     // dst = src1 | imm
+	XORI    // dst = src1 ^ imm
+	SHLI    // dst = src1 << imm
+	SHRI    // dst = src1 >> imm (logical)
+	SRAI    // dst = src1 >> imm (arithmetic)
+	SLTI    // dst = src1 < imm ? 1 : 0
+	LUI     // dst = imm (load immediate; "upper" kept for familiarity)
+
+	// Long-latency arithmetic.
+	MUL // dst = src1 * src2
+	DIV // dst = src1 / src2 (src2==0 yields 0)
+	REM // dst = src1 % src2 (src2==0 yields 0); same latency class as DIV
+
+	// Memory. Addresses are in words; effective address = src1 + imm.
+	LD // dst = mem[src1+imm]
+	ST // mem[src1+imm] = src2
+
+	// Control. Branches compare src1 against src2.
+	BEQ // taken if src1 == src2
+	BNE // taken if src1 != src2
+	BLT // taken if src1 <  src2 (signed)
+	BGE // taken if src1 >= src2 (signed)
+	JMP // unconditional direct jump
+	JAL // dst = return PC; unconditional direct call
+
+	// HALT terminates the program.
+	HALT
+
+	numOps
+)
+
+// NumOps is the number of defined opcodes.
+const NumOps = int(numOps)
+
+var opNames = [...]string{
+	NOP: "nop", ADD: "add", SUB: "sub", AND: "and", OR: "or", XOR: "xor",
+	SHL: "shl", SHR: "shr", SRA: "sra", SLT: "slt", ADDI: "addi", ANDI: "andi",
+	ORI: "ori", XORI: "xori", SHLI: "shli", SHRI: "shri", SRAI: "srai", SLTI: "slti",
+	LUI: "lui", MUL: "mul", DIV: "div", REM: "rem", LD: "ld", ST: "st",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge", JMP: "jmp", JAL: "jal",
+	HALT: "halt",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Class partitions opcodes into the categories the mechanistic model
+// distinguishes (Table 1 of the paper).
+type Class uint8
+
+const (
+	ClassNop Class = iota
+	ClassALU       // unit-latency integer ops
+	ClassMul       // long-latency multiply
+	ClassDiv       // long-latency divide/remainder
+	ClassLoad
+	ClassStore
+	ClassBranch // conditional branches
+	ClassJump   // unconditional jumps/calls
+	ClassHalt
+
+	numClasses
+)
+
+// NumClasses is the number of instruction classes.
+const NumClasses = int(numClasses)
+
+var classNames = [...]string{
+	ClassNop: "nop", ClassALU: "alu", ClassMul: "mul", ClassDiv: "div",
+	ClassLoad: "load", ClassStore: "store", ClassBranch: "branch",
+	ClassJump: "jump", ClassHalt: "halt",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// ClassOf returns the class of an opcode.
+func ClassOf(o Op) Class {
+	switch o {
+	case NOP:
+		return ClassNop
+	case ADD, SUB, AND, OR, XOR, SHL, SHR, SRA, SLT,
+		ADDI, ANDI, ORI, XORI, SHLI, SHRI, SRAI, SLTI, LUI:
+		return ClassALU
+	case MUL:
+		return ClassMul
+	case DIV, REM:
+		return ClassDiv
+	case LD:
+		return ClassLoad
+	case ST:
+		return ClassStore
+	case BEQ, BNE, BLT, BGE:
+		return ClassBranch
+	case JMP, JAL:
+		return ClassJump
+	case HALT:
+		return ClassHalt
+	}
+	return ClassNop
+}
+
+// Instr is one static instruction. Target is a static instruction index
+// for control transfers (filled in by the program assembler).
+type Instr struct {
+	Op     Op
+	Dst    Reg
+	Src1   Reg
+	Src2   Reg
+	Imm    int64
+	Target int // static instruction index for branches/jumps
+}
+
+// HasDst reports whether the instruction writes a register (other than
+// the hardwired zero register, which writes are discarded).
+func (in Instr) HasDst() bool {
+	switch ClassOf(in.Op) {
+	case ClassALU, ClassMul, ClassDiv, ClassLoad:
+		return in.Dst != Zero
+	case ClassJump:
+		return in.Op == JAL && in.Dst != Zero
+	}
+	return false
+}
+
+// SrcRegs appends the source registers actually read by the instruction
+// to dst and returns it. The zero register is never a dependence source.
+func (in Instr) SrcRegs(dst []Reg) []Reg {
+	add := func(r Reg) {
+		if r != Zero {
+			dst = append(dst, r)
+		}
+	}
+	switch in.Op {
+	case NOP, HALT, JMP, JAL, LUI:
+		// no register sources
+	case ADDI, ANDI, ORI, XORI, SHLI, SHRI, SRAI, SLTI, LD:
+		add(in.Src1)
+	case ST, ADD, SUB, AND, OR, XOR, SHL, SHR, SRA, SLT, MUL, DIV, REM,
+		BEQ, BNE, BLT, BGE:
+		add(in.Src1)
+		add(in.Src2)
+	}
+	return dst
+}
+
+// IsControl reports whether the instruction can redirect fetch.
+func (in Instr) IsControl() bool {
+	c := ClassOf(in.Op)
+	return c == ClassBranch || c == ClassJump
+}
+
+func (in Instr) String() string {
+	switch ClassOf(in.Op) {
+	case ClassNop, ClassHalt:
+		return in.Op.String()
+	case ClassLoad:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Dst, in.Imm, in.Src1)
+	case ClassStore:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Src2, in.Imm, in.Src1)
+	case ClassBranch:
+		return fmt.Sprintf("%s %s, %s, @%d", in.Op, in.Src1, in.Src2, in.Target)
+	case ClassJump:
+		return fmt.Sprintf("%s @%d", in.Op, in.Target)
+	default:
+		if in.Op == LUI {
+			return fmt.Sprintf("%s %s, %d", in.Op, in.Dst, in.Imm)
+		}
+		switch in.Op {
+		case ADDI, ANDI, ORI, XORI, SHLI, SHRI, SRAI, SLTI:
+			return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Dst, in.Src1, in.Imm)
+		}
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Dst, in.Src1, in.Src2)
+	}
+}

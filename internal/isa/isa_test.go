@@ -1,0 +1,173 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassOfCoversAllOpcodes(t *testing.T) {
+	for op := Op(0); op < Op(NumOps); op++ {
+		c := ClassOf(op)
+		if int(c) >= NumClasses {
+			t.Errorf("op %v: class %v out of range", op, c)
+		}
+		switch op {
+		case MUL:
+			if c != ClassMul {
+				t.Errorf("MUL classified as %v", c)
+			}
+		case DIV, REM:
+			if c != ClassDiv {
+				t.Errorf("%v classified as %v", op, c)
+			}
+		case LD:
+			if c != ClassLoad {
+				t.Errorf("LD classified as %v", c)
+			}
+		case ST:
+			if c != ClassStore {
+				t.Errorf("ST classified as %v", c)
+			}
+		case BEQ, BNE, BLT, BGE:
+			if c != ClassBranch {
+				t.Errorf("%v classified as %v", op, c)
+			}
+		case JMP, JAL:
+			if c != ClassJump {
+				t.Errorf("%v classified as %v", op, c)
+			}
+		}
+	}
+}
+
+func TestOpStringsAreUniqueAndNamed(t *testing.T) {
+	seen := map[string]Op{}
+	for op := Op(0); op < Op(NumOps); op++ {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("op %d has no name", op)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("ops %v and %v share name %q", prev, op, s)
+		}
+		seen[s] = op
+	}
+	if got := Op(200).String(); !strings.HasPrefix(got, "op(") {
+		t.Errorf("unknown op string = %q", got)
+	}
+}
+
+func TestHasDst(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want bool
+	}{
+		{Instr{Op: ADD, Dst: 3}, true},
+		{Instr{Op: ADD, Dst: Zero}, false}, // writes to r0 are discarded
+		{Instr{Op: LD, Dst: 5}, true},
+		{Instr{Op: ST, Src2: 5}, false},
+		{Instr{Op: BEQ}, false},
+		{Instr{Op: JAL, Dst: 7}, true},
+		{Instr{Op: JAL, Dst: Zero}, false},
+		{Instr{Op: JMP}, false},
+		{Instr{Op: MUL, Dst: 1}, true},
+		{Instr{Op: NOP}, false},
+		{Instr{Op: HALT}, false},
+	}
+	for _, c := range cases {
+		if got := c.in.HasDst(); got != c.want {
+			t.Errorf("HasDst(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSrcRegs(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want []Reg
+	}{
+		{Instr{Op: ADD, Dst: 1, Src1: 2, Src2: 3}, []Reg{2, 3}},
+		{Instr{Op: ADD, Dst: 1, Src1: Zero, Src2: 3}, []Reg{3}},
+		{Instr{Op: ADDI, Dst: 1, Src1: 2}, []Reg{2}},
+		{Instr{Op: LUI, Dst: 1}, nil},
+		{Instr{Op: LD, Dst: 1, Src1: 4}, []Reg{4}},
+		{Instr{Op: ST, Src1: 4, Src2: 5}, []Reg{4, 5}},
+		{Instr{Op: BEQ, Src1: 6, Src2: 7}, []Reg{6, 7}},
+		{Instr{Op: JMP}, nil},
+		{Instr{Op: NOP}, nil},
+	}
+	for _, c := range cases {
+		got := c.in.SrcRegs(nil)
+		if len(got) != len(c.want) {
+			t.Errorf("SrcRegs(%v) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("SrcRegs(%v) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+func TestSrcRegsNeverIncludesZero(t *testing.T) {
+	f := func(op uint8, s1, s2 uint8) bool {
+		in := Instr{Op: Op(op % uint8(NumOps)), Src1: Reg(s1 % NumRegs), Src2: Reg(s2 % NumRegs)}
+		for _, r := range in.SrcRegs(nil) {
+			if r == Zero {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsControl(t *testing.T) {
+	for op := Op(0); op < Op(NumOps); op++ {
+		in := Instr{Op: op}
+		want := ClassOf(op) == ClassBranch || ClassOf(op) == ClassJump
+		if got := in.IsControl(); got != want {
+			t.Errorf("IsControl(%v) = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: ADD, Dst: 1, Src1: 2, Src2: 3}, "add r1, r2, r3"},
+		{Instr{Op: ADDI, Dst: 1, Src1: 2, Imm: -5}, "addi r1, r2, -5"},
+		{Instr{Op: LD, Dst: 1, Src1: 2, Imm: 8}, "ld r1, 8(r2)"},
+		{Instr{Op: ST, Src1: 2, Src2: 3, Imm: 8}, "st r3, 8(r2)"},
+		{Instr{Op: BEQ, Src1: 1, Src2: 2, Target: 7}, "beq r1, r2, @7"},
+		{Instr{Op: JMP, Target: 9}, "jmp @9"},
+		{Instr{Op: LUI, Dst: 4, Imm: 10}, "lui r4, 10"},
+		{Instr{Op: NOP}, "nop"},
+		{Instr{Op: HALT}, "halt"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c := Class(0); int(c) < NumClasses; c++ {
+		if s := c.String(); s == "" || strings.HasPrefix(s, "class(") {
+			t.Errorf("class %d has no name", c)
+		}
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if got := Reg(7).String(); got != "r7" {
+		t.Errorf("Reg(7).String() = %q", got)
+	}
+}

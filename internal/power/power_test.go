@@ -1,0 +1,158 @@
+package power
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/branch"
+	"repro/internal/cache"
+	"repro/internal/profile"
+	"repro/internal/uarch"
+)
+
+func sampleEvents() Events {
+	return Events{
+		N: 1_000_000, MulDiv: 10_000,
+		IL1Accesses: 1_000_000, DL1Accesses: 300_000,
+		L2Accesses: 20_000, MemAccesses: 2_000, Branches: 150_000,
+	}
+}
+
+func TestEnergyPositiveAndDecomposed(t *testing.T) {
+	m := NewModel()
+	b, err := m.Energy(sampleEvents(), uarch.Default(), 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Total() <= 0 {
+		t.Fatal("non-positive energy")
+	}
+	parts := b.Core + b.L1 + b.L2 + b.Memory + b.Bpred + b.Leakage
+	if parts != b.Total() {
+		t.Errorf("breakdown does not sum: %f vs %f", parts, b.Total())
+	}
+	for _, v := range []float64{b.Core, b.L1, b.L2, b.Memory, b.Bpred, b.Leakage} {
+		if v <= 0 {
+			t.Errorf("zero component in %+v", b)
+		}
+	}
+}
+
+func TestWiderCoreCostsMore(t *testing.T) {
+	m := NewModel()
+	ev := sampleEvents()
+	cy := 2_000_000.0
+	prev := 0.0
+	for w := 1; w <= 4; w++ {
+		b, err := m.Energy(ev, uarch.Default().WithWidth(w), cy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Core <= prev {
+			t.Errorf("W=%d core energy %g not above W-1's %g", w, b.Core, prev)
+		}
+		prev = b.Core
+	}
+}
+
+func TestBiggerL2CostsMorePerAccess(t *testing.T) {
+	m := NewModel()
+	ev := sampleEvents()
+	cy := 2_000_000.0
+	small, _ := m.Energy(ev, uarch.Default().WithL2(128, 8), cy)
+	big, _ := m.Energy(ev, uarch.Default().WithL2(1024, 8), cy)
+	if big.L2 <= small.L2 {
+		t.Errorf("1MB L2 per-access energy %g not above 128KB %g", big.L2, small.L2)
+	}
+	if big.Leakage <= small.Leakage {
+		t.Errorf("1MB L2 leakage %g not above 128KB %g", big.Leakage, small.Leakage)
+	}
+	wide, _ := m.Energy(ev, uarch.Default().WithL2(512, 16), cy)
+	base, _ := m.Energy(ev, uarch.Default().WithL2(512, 8), cy)
+	if wide.L2 <= base.L2 {
+		t.Error("16-way L2 not costlier than 8-way")
+	}
+}
+
+func TestVoltageScalingAcrossDepthPoints(t *testing.T) {
+	// Same cycle count at lower frequency = longer time; but dynamic
+	// energy must shrink with the lower voltage.
+	m := NewModel()
+	ev := sampleEvents()
+	cy := 2_000_000.0
+	slow, _ := m.Energy(ev, uarch.Default().WithDepth(uarch.DepthFreq{Stages: 5, FreqMHz: 600}), cy)
+	fast, _ := m.Energy(ev, uarch.Default().WithDepth(uarch.DepthFreq{Stages: 9, FreqMHz: 1000}), cy)
+	if slow.Core >= fast.Core {
+		t.Errorf("600MHz/0.9V core energy %g not below 1GHz/1.1V %g", slow.Core, fast.Core)
+	}
+}
+
+func TestHybridPredictorCostsMore(t *testing.T) {
+	m := NewModel()
+	ev := sampleEvents()
+	cy := 2_000_000.0
+	g, _ := m.Energy(ev, uarch.Default().WithPredictor(uarch.PredGShare1KB), cy)
+	h, _ := m.Energy(ev, uarch.Default().WithPredictor(uarch.PredHybrid3_5KB), cy)
+	if h.Bpred <= g.Bpred {
+		t.Error("3.5KB hybrid not costlier than 1KB gshare")
+	}
+}
+
+func TestEDP(t *testing.T) {
+	m := NewModel()
+	cfg := uarch.Default()
+	ev := sampleEvents()
+	edp, err := m.EDP(ev, cfg, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := m.Energy(ev, cfg, 2_000_000)
+	want := b.Total() * cfg.Seconds(2_000_000)
+	if edp != want {
+		t.Errorf("EDP = %g, want %g", edp, want)
+	}
+}
+
+func TestEnergyErrors(t *testing.T) {
+	m := NewModel()
+	if _, err := m.Energy(sampleEvents(), uarch.Default(), 0); err == nil {
+		t.Error("zero cycles accepted")
+	}
+	bad := uarch.Default()
+	bad.Width = 0
+	if _, err := m.Energy(sampleEvents(), bad, 100); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := m.EDP(sampleEvents(), bad, 100); err == nil {
+		t.Error("EDP with invalid config accepted")
+	}
+}
+
+func TestEventsFrom(t *testing.T) {
+	p := &profile.Profile{N: 100, NMul: 3, NDiv: 2, NBranch: 10}
+	mem := cache.Stats{IL1Accesses: 100, DL1Accesses: 30, IL1Misses: 5, DL1Misses: 7,
+		IL2Misses: 1, DL2Misses: 2}
+	br := branch.Stats{Branches: 10}
+	ev := EventsFrom(p, mem, br)
+	if ev.N != 100 || ev.MulDiv != 5 || ev.L2Accesses != 12 || ev.MemAccesses != 3 || ev.Branches != 10 {
+		t.Errorf("events = %+v", ev)
+	}
+}
+
+// Property: energy is monotone in every event count.
+func TestEnergyMonotoneInEvents(t *testing.T) {
+	m := NewModel()
+	cfg := uarch.Default()
+	f := func(extra uint16) bool {
+		base := sampleEvents()
+		more := base
+		more.N += int64(extra)
+		more.MemAccesses += int64(extra)
+		b1, err1 := m.Energy(base, cfg, 1_000_000)
+		b2, err2 := m.Energy(more, cfg, 1_000_000)
+		return err1 == nil && err2 == nil && b2.Total() >= b1.Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

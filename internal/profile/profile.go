@@ -1,0 +1,222 @@
+// Package profile computes the machine-independent program statistics
+// of Table 1 in the paper: the dynamic instruction count N, the
+// per-type counts N_i of long-latency instructions, and the three
+// dependency-distance profiles deps_unit(d), deps_LL(d) and deps_ld(d).
+//
+// These statistics are a property of the program binary alone: one
+// profiling pass suffices to drive the mechanistic model across the
+// whole microarchitecture design space.
+package profile
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// MaxDepDist is the largest dependency distance tracked. The model
+// needs distances up to 2W-1; with W ≤ 8 supported, 64 gives headroom
+// and also feeds the out-of-order model's ILP analysis.
+const MaxDepDist = 64
+
+// DepProfile is a histogram over dependency distances: Count[d] is the
+// number of consumer instructions whose *shortest* producer distance is
+// d, for 1 ≤ d ≤ MaxDepDist. Index 0 is unused.
+type DepProfile struct {
+	Count [MaxDepDist + 1]int64
+}
+
+// Total returns the number of recorded dependencies.
+func (p *DepProfile) Total() int64 {
+	var t int64
+	for _, c := range p.Count {
+		t += c
+	}
+	return t
+}
+
+// UpTo returns the number of dependencies with distance ≤ d.
+func (p *DepProfile) UpTo(d int) int64 {
+	if d > MaxDepDist {
+		d = MaxDepDist
+	}
+	var t int64
+	for i := 1; i <= d; i++ {
+		t += p.Count[i]
+	}
+	return t
+}
+
+// Mean returns the mean recorded dependency distance (0 if empty).
+func (p *DepProfile) Mean() float64 {
+	var n, s int64
+	for d := 1; d <= MaxDepDist; d++ {
+		n += p.Count[d]
+		s += int64(d) * p.Count[d]
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(s) / float64(n)
+}
+
+// Profile holds the machine-independent statistics of one program.
+type Profile struct {
+	Name string
+
+	N       int64                 // dynamic instruction count
+	ByClass [isa.NumClasses]int64 // dynamic count per class
+	ByOp    map[isa.Op]int64      // dynamic count per opcode
+	NMul    int64                 // multiply count (long latency)
+	NDiv    int64                 // divide/remainder count (long latency)
+	NLoad   int64
+	NStore  int64
+	NBranch int64 // conditional branches
+	NJump   int64 // unconditional control
+	NTaken  int64 // taken conditional branches
+
+	// Dependency-distance profiles keyed by producer type. The consumer
+	// is attributed to its *nearest* producer; when two producers are at
+	// the same distance, loads take priority over long-latency ops over
+	// unit-latency ops (the stall the pipeline actually sees).
+	DepsUnit DepProfile // producer is a unit-latency instruction
+	DepsLL   DepProfile // producer is mul/div
+	DepsLd   DepProfile // producer is a load
+}
+
+// Collector streams a trace into a Profile.
+type Collector struct {
+	P Profile
+
+	// lastWriter[r] is the dynamic sequence number of the most recent
+	// writer of register r, or -1. writerKind mirrors it.
+	lastWriter [isa.NumRegs]int64
+	writerKind [isa.NumRegs]producerKind
+}
+
+type producerKind uint8
+
+const (
+	prodUnit producerKind = iota
+	prodLL
+	prodLoad
+)
+
+// NewCollector returns a collector for a program with the given name.
+func NewCollector(name string) *Collector {
+	c := &Collector{}
+	c.P.Name = name
+	c.P.ByOp = make(map[isa.Op]int64)
+	for i := range c.lastWriter {
+		c.lastWriter[i] = -1
+	}
+	return c
+}
+
+// Consume implements trace.Consumer.
+func (c *Collector) Consume(d *trace.DynInst) {
+	p := &c.P
+	p.N++
+	p.ByClass[d.Class]++
+	p.ByOp[d.Op]++
+
+	switch d.Class {
+	case isa.ClassMul:
+		p.NMul++
+	case isa.ClassDiv:
+		p.NDiv++
+	case isa.ClassLoad:
+		p.NLoad++
+	case isa.ClassStore:
+		p.NStore++
+	case isa.ClassBranch:
+		p.NBranch++
+		if d.Taken {
+			p.NTaken++
+		}
+	case isa.ClassJump:
+		p.NJump++
+	}
+
+	// Dependency profiling: find the nearest producer among the sources.
+	if d.NumSrc > 0 {
+		bestDist := int64(-1)
+		bestKind := prodUnit
+		for i := 0; i < d.NumSrc; i++ {
+			r := d.Src[i]
+			w := c.lastWriter[r]
+			if w < 0 {
+				continue
+			}
+			dist := d.Seq - w
+			if bestDist < 0 || dist < bestDist ||
+				(dist == bestDist && kindPriority(c.writerKind[r]) > kindPriority(bestKind)) {
+				bestDist = dist
+				bestKind = c.writerKind[r]
+			}
+		}
+		if bestDist >= 1 && bestDist <= MaxDepDist {
+			switch bestKind {
+			case prodLoad:
+				p.DepsLd.Count[bestDist]++
+			case prodLL:
+				p.DepsLL.Count[bestDist]++
+			default:
+				p.DepsUnit.Count[bestDist]++
+			}
+		}
+	}
+
+	if d.HasDst {
+		c.lastWriter[d.Dst] = d.Seq
+		switch d.Class {
+		case isa.ClassMul, isa.ClassDiv:
+			c.writerKind[d.Dst] = prodLL
+		case isa.ClassLoad:
+			c.writerKind[d.Dst] = prodLoad
+		default:
+			c.writerKind[d.Dst] = prodUnit
+		}
+	}
+}
+
+func kindPriority(k producerKind) int {
+	switch k {
+	case prodLoad:
+		return 2
+	case prodLL:
+		return 1
+	}
+	return 0
+}
+
+// Result returns the collected profile.
+func (c *Collector) Result() *Profile { return &c.P }
+
+// Mix returns the fraction of dynamic instructions in the given class.
+func (p *Profile) Mix(cl isa.Class) float64 {
+	if p.N == 0 {
+		return 0
+	}
+	return float64(p.ByClass[cl]) / float64(p.N)
+}
+
+// String summarizes the profile.
+func (p *Profile) String() string {
+	return fmt.Sprintf(
+		"%s: N=%d alu=%.1f%% mul=%.2f%% div=%.2f%% ld=%.1f%% st=%.1f%% br=%.1f%% (taken %.1f%%) depU=%d depLL=%d depLd=%d",
+		p.Name, p.N,
+		100*p.Mix(isa.ClassALU), 100*p.Mix(isa.ClassMul), 100*p.Mix(isa.ClassDiv),
+		100*p.Mix(isa.ClassLoad), 100*p.Mix(isa.ClassStore), 100*p.Mix(isa.ClassBranch),
+		100*safeDiv(float64(p.NTaken), float64(p.NBranch)),
+		p.DepsUnit.Total(), p.DepsLL.Total(), p.DepsLd.Total(),
+	)
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

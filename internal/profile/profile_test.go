@@ -1,0 +1,196 @@
+package profile
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// feed streams hand-built dynamic instructions through a collector.
+func feed(ds []trace.DynInst) *Profile {
+	c := NewCollector("t")
+	for i := range ds {
+		ds[i].Seq = int64(i)
+		c.Consume(&ds[i])
+	}
+	return c.Result()
+}
+
+func alu(dst isa.Reg, srcs ...isa.Reg) trace.DynInst {
+	d := trace.DynInst{Op: isa.ADD, Class: isa.ClassALU, Dst: dst, HasDst: dst != 0}
+	for i, s := range srcs {
+		if i < 2 {
+			d.Src[i] = s
+			d.NumSrc++
+		}
+	}
+	return d
+}
+
+func TestDependencyDistance(t *testing.T) {
+	// r1 written at seq 0; consumed at seq 3 -> deps_unit(3)++.
+	p := feed([]trace.DynInst{
+		alu(1),
+		alu(2),
+		alu(3),
+		alu(4, 1),
+	})
+	if p.DepsUnit.Count[3] != 1 {
+		t.Errorf("deps_unit(3) = %d, want 1", p.DepsUnit.Count[3])
+	}
+	if p.DepsUnit.Total() != 1 {
+		t.Errorf("total unit deps = %d, want 1", p.DepsUnit.Total())
+	}
+}
+
+func TestNearestProducerWins(t *testing.T) {
+	// Consumer reads r1 (written at 0) and r2 (written at 2):
+	// shortest distance is 1 (to r2).
+	p := feed([]trace.DynInst{
+		alu(1),
+		alu(9),
+		alu(2),
+		alu(4, 1, 2),
+	})
+	if p.DepsUnit.Count[1] != 1 || p.DepsUnit.Count[3] != 0 {
+		t.Errorf("deps = %v, want only d=1", p.DepsUnit.Count[:5])
+	}
+}
+
+func TestProducerKindClassification(t *testing.T) {
+	mul := trace.DynInst{Op: isa.MUL, Class: isa.ClassMul, Dst: 2, HasDst: true}
+	ld := trace.DynInst{Op: isa.LD, Class: isa.ClassLoad, Dst: 3, HasDst: true, IsLoad: true}
+	p := feed([]trace.DynInst{
+		mul,       // writes r2
+		alu(4, 2), // dep on mul at d=1
+		ld,        // writes r3
+		alu(5, 3), // dep on load at d=1
+		alu(6),    // writes r6
+		alu(7, 6), // dep on unit at d=1
+	})
+	if p.DepsLL.Count[1] != 1 {
+		t.Errorf("deps_LL(1) = %d, want 1", p.DepsLL.Count[1])
+	}
+	if p.DepsLd.Count[1] != 1 {
+		t.Errorf("deps_ld(1) = %d, want 1", p.DepsLd.Count[1])
+	}
+	if p.DepsUnit.Count[1] != 1 {
+		t.Errorf("deps_unit(1) = %d, want 1", p.DepsUnit.Count[1])
+	}
+}
+
+func TestTieBreakPrefersLoad(t *testing.T) {
+	// Both producers at distance 2 and 1... craft equal distances:
+	// load writes r1 at seq 0, unit writes r2 at seq 0? Two writers
+	// cannot share a seq; instead both at distance 1 via two sources
+	// written at the same earlier instruction is impossible, so use
+	// distance 2 for both: load at 0, unit at... distances must be
+	// equal: producers at seq 0 (load, r1) and seq 0 is taken; use
+	// seq 1 (unit, r2) and consumer at 2 reading r1 (d=2) and r2 (d=1):
+	// nearest is unit. For a true tie, read r1 and r3 both written at
+	// seq 1 — only one instruction writes per cycle, so a tie can only
+	// happen with a single producer instruction; then kind priority is
+	// moot. Verify instead that equal-distance multi-source tie keeps
+	// one dependency only.
+	ld := trace.DynInst{Op: isa.LD, Class: isa.ClassLoad, Dst: 1, HasDst: true, IsLoad: true}
+	p := feed([]trace.DynInst{
+		ld,
+		alu(9, 1, 1), // both sources are r1: one dep at d=1, kind load
+	})
+	if p.DepsLd.Count[1] != 1 || p.DepsLd.Total() != 1 {
+		t.Errorf("deps_ld = %v", p.DepsLd.Count[:3])
+	}
+	if p.DepsUnit.Total() != 0 {
+		t.Errorf("unexpected unit deps: %d", p.DepsUnit.Total())
+	}
+}
+
+func TestOverwriteBreaksDependency(t *testing.T) {
+	// r1 written at 0, overwritten at 1 by an instruction with no
+	// sources; consumer at 2 depends on the newer write (d=1).
+	p := feed([]trace.DynInst{
+		alu(1),
+		alu(1),
+		alu(2, 1),
+	})
+	if p.DepsUnit.Count[1] != 1 || p.DepsUnit.Count[2] != 0 {
+		t.Errorf("deps = %v, want d=1 only", p.DepsUnit.Count[:4])
+	}
+}
+
+func TestClassCountsAndBranchStats(t *testing.T) {
+	br := func(taken bool) trace.DynInst {
+		return trace.DynInst{Op: isa.BEQ, Class: isa.ClassBranch, IsBranch: true, Taken: taken}
+	}
+	jmp := trace.DynInst{Op: isa.JMP, Class: isa.ClassJump, IsJump: true, Taken: true}
+	st := trace.DynInst{Op: isa.ST, Class: isa.ClassStore, IsStore: true}
+	div := trace.DynInst{Op: isa.DIV, Class: isa.ClassDiv, Dst: 1, HasDst: true}
+	p := feed([]trace.DynInst{br(true), br(false), br(true), jmp, st, div})
+	if p.NBranch != 3 || p.NTaken != 2 || p.NJump != 1 || p.NStore != 1 || p.NDiv != 1 {
+		t.Errorf("counts: %+v", p)
+	}
+	if p.N != 6 {
+		t.Errorf("N = %d, want 6", p.N)
+	}
+	if p.Mix(isa.ClassBranch) != 0.5 {
+		t.Errorf("branch mix = %f, want 0.5", p.Mix(isa.ClassBranch))
+	}
+}
+
+func TestDepProfileHelpers(t *testing.T) {
+	var dp DepProfile
+	dp.Count[1] = 3
+	dp.Count[4] = 1
+	if dp.Total() != 4 {
+		t.Errorf("Total = %d", dp.Total())
+	}
+	if dp.UpTo(3) != 3 {
+		t.Errorf("UpTo(3) = %d", dp.UpTo(3))
+	}
+	if dp.UpTo(1000) != 4 {
+		t.Errorf("UpTo(1000) = %d", dp.UpTo(1000))
+	}
+	want := (3.0*1 + 1.0*4) / 4.0
+	if dp.Mean() != want {
+		t.Errorf("Mean = %f, want %f", dp.Mean(), want)
+	}
+	var empty DepProfile
+	if empty.Mean() != 0 {
+		t.Errorf("empty Mean = %f", empty.Mean())
+	}
+}
+
+func TestDepTotalsNeverExceedN(t *testing.T) {
+	// Property: however the stream looks, the number of recorded
+	// dependencies cannot exceed the number of instructions.
+	f := func(ops []uint8) bool {
+		c := NewCollector("q")
+		var seq int64
+		for _, o := range ops {
+			d := trace.DynInst{Seq: seq, Op: isa.ADD, Class: isa.ClassALU}
+			d.Dst = isa.Reg(o % 8)
+			d.HasDst = d.Dst != 0
+			d.Src[0] = isa.Reg((o >> 3) % 8)
+			if d.Src[0] != 0 {
+				d.NumSrc = 1
+			}
+			c.Consume(&d)
+			seq++
+		}
+		p := c.Result()
+		deps := p.DepsUnit.Total() + p.DepsLL.Total() + p.DepsLd.Total()
+		return deps <= p.N && p.N == int64(len(ops))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	p := feed([]trace.DynInst{alu(1)})
+	if p.String() == "" {
+		t.Error("empty String()")
+	}
+}

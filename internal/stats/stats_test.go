@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Mean != 2.5 || s.Max != 4 || s.Median != 2.5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if (Summary{}) != Summarize(nil) {
+		t.Error("empty summary not zero")
+	}
+	if s.String() == "" {
+		t.Error("empty string")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); got != c.want {
+			t.Errorf("Quantile(%f) = %f, want %f", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile not 0")
+	}
+	// Interpolation between points.
+	if got := Quantile([]float64{0, 10}, 0.25); got != 2.5 {
+		t.Errorf("interpolated quantile = %f, want 2.5", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{3, 1, 2})
+	if len(pts) != 3 {
+		t.Fatalf("CDF has %d points", len(pts))
+	}
+	if pts[0].X != 1 || pts[0].P != 1.0/3 {
+		t.Errorf("first point = %+v", pts[0])
+	}
+	if pts[2].X != 3 || pts[2].P != 1 {
+		t.Errorf("last point = %+v", pts[2])
+	}
+	if CDF(nil) != nil {
+		t.Error("empty CDF not nil")
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := FractionBelow(xs, 3); got != 0.5 {
+		t.Errorf("FractionBelow = %f", got)
+	}
+	if FractionBelow(nil, 1) != 0 {
+		t.Error("empty fraction not 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean = %f, want 2", got)
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Error("non-positive sample should yield 0")
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("empty should yield 0")
+	}
+}
+
+// Property: quantiles are monotone in q, and the CDF is monotone in
+// both coordinates.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := int(n%50) + 2
+		xs := make([]float64, m)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		sort.Float64s(xs)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := Quantile(xs, q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		pts := CDF(xs)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].X < pts[i-1].X || pts[i].P <= pts[i-1].P {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Summarize is permutation invariant and Mean lies within
+// [min, max].
+func TestSummarizeProperties(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := int(n%40) + 1
+		xs := make([]float64, m)
+		for i := range xs {
+			xs[i] = rng.Float64()
+		}
+		a := Summarize(xs)
+		shuffled := append([]float64(nil), xs...)
+		rng.Shuffle(m, func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		b := Summarize(shuffled)
+		if a != b {
+			return false
+		}
+		lo, hi := xs[0], xs[0]
+		for _, v := range xs {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		return a.Mean >= lo-1e-12 && a.Mean <= hi+1e-12 && a.Max == hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,74 @@
+// Package trace defines the dynamic-instruction record produced by the
+// functional simulator and consumed by the profiler, the cache and
+// branch-predictor simulators and the detailed pipeline simulator.
+//
+// Traces are streamed through a callback rather than materialized:
+// workloads execute hundreds of thousands of dynamic instructions and a
+// single profiling pass feeds several consumers at once (see Tee).
+package trace
+
+import "repro/internal/isa"
+
+// DynInst is one dynamically executed instruction.
+type DynInst struct {
+	Seq   int64     // dynamic sequence number, starting at 0
+	PC    int64     // static instruction index (word-addressed I-memory)
+	Op    isa.Op    // opcode
+	Class isa.Class // precomputed class of Op
+
+	Dst      isa.Reg    // destination register (valid if HasDst)
+	HasDst   bool       // writes a register
+	Src      [2]isa.Reg // source registers actually read
+	NumSrc   int        // number of valid entries in Src
+	EffAddr  int64      // effective word address for loads/stores
+	Taken    bool       // for control instructions: taken?
+	Target   int64      // for control instructions: target PC
+	NextPC   int64      // PC of the next dynamic instruction
+	IsLoad   bool
+	IsStore  bool
+	IsBranch bool // conditional branch
+	IsJump   bool // unconditional control
+}
+
+// Consumer receives a stream of dynamic instructions.
+type Consumer interface {
+	// Consume observes one dynamic instruction.
+	Consume(*DynInst)
+}
+
+// ConsumerFunc adapts a function to the Consumer interface.
+type ConsumerFunc func(*DynInst)
+
+// Consume calls f(d).
+func (f ConsumerFunc) Consume(d *DynInst) { f(d) }
+
+// Tee fans one stream out to several consumers in order.
+type Tee []Consumer
+
+// Consume forwards d to every consumer.
+func (t Tee) Consume(d *DynInst) {
+	for _, c := range t {
+		c.Consume(d)
+	}
+}
+
+// Recorder materializes a trace in memory; intended for tests and small
+// programs only.
+type Recorder struct {
+	Insts []DynInst
+}
+
+// Consume appends a copy of d.
+func (r *Recorder) Consume(d *DynInst) { r.Insts = append(r.Insts, *d) }
+
+// Counter counts dynamic instructions by class.
+type Counter struct {
+	Total   int64
+	ByClass [isa.NumClasses]int64
+}
+
+// Consume tallies d.
+func (c *Counter) Consume(d *DynInst) {
+	c.Total++
+	c.ByClass[d.Class]++
+}

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestTeeFansOutInOrder(t *testing.T) {
+	var order []string
+	a := ConsumerFunc(func(d *DynInst) { order = append(order, "a") })
+	b := ConsumerFunc(func(d *DynInst) { order = append(order, "b") })
+	tee := Tee{a, b}
+	tee.Consume(&DynInst{})
+	tee.Consume(&DynInst{})
+	want := []string{"a", "b", "a", "b"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRecorderCopies(t *testing.T) {
+	r := &Recorder{}
+	d := DynInst{Seq: 1, Op: isa.ADD}
+	r.Consume(&d)
+	d.Seq = 99 // mutate after consumption
+	if r.Insts[0].Seq != 1 {
+		t.Error("Recorder aliases the consumed instruction")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := &Counter{}
+	c.Consume(&DynInst{Class: isa.ClassALU})
+	c.Consume(&DynInst{Class: isa.ClassALU})
+	c.Consume(&DynInst{Class: isa.ClassLoad})
+	if c.Total != 3 {
+		t.Errorf("Total = %d, want 3", c.Total)
+	}
+	if c.ByClass[isa.ClassALU] != 2 || c.ByClass[isa.ClassLoad] != 1 {
+		t.Errorf("ByClass = %v", c.ByClass)
+	}
+}

@@ -1,0 +1,124 @@
+package uarch
+
+import (
+	"testing"
+
+	"repro/internal/branch"
+)
+
+func TestDefaultIsTable2(t *testing.T) {
+	c := Default()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if c.Width != 4 || c.PipelineStages() != 9 || c.FreqMHz != 1000 {
+		t.Errorf("default core: %+v", c)
+	}
+	if c.Hier.L2.SizeBytes != 512*KB || c.Hier.L2.Ways != 8 {
+		t.Errorf("default L2: %+v", c.Hier.L2)
+	}
+	if c.Hier.IL1.SizeBytes != 32*KB || c.Hier.IL1.Ways != 4 || c.Hier.IL1.BlockBytes != 64 {
+		t.Errorf("default IL1: %+v", c.Hier.IL1)
+	}
+	if c.Predictor != PredGShare1KB {
+		t.Errorf("default predictor: %v", c.Predictor)
+	}
+}
+
+func TestLatencyConversion(t *testing.T) {
+	c := Default() // 1 GHz
+	if got := c.L2HitCycles(); got != 10 {
+		t.Errorf("L2 hit at 1GHz = %d cycles, want 10", got)
+	}
+	if got := c.MemCycles(); got != 70 {
+		t.Errorf("memory at 1GHz = %d cycles, want 70", got)
+	}
+	if got := c.L2MissCycles(); got != 80 {
+		t.Errorf("L2 miss at 1GHz = %d cycles, want 80", got)
+	}
+	c.FreqMHz = 600
+	if got := c.L2HitCycles(); got != 6 {
+		t.Errorf("L2 hit at 600MHz = %d cycles, want 6", got)
+	}
+	// Rounding is up, minimum one cycle.
+	c.L2HitNS = 0.1
+	if got := c.L2HitCycles(); got != 1 {
+		t.Errorf("sub-cycle latency = %d, want 1", got)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	c := Default()
+	if got := c.Seconds(1e9); got != 1.0 {
+		t.Errorf("1e9 cycles at 1GHz = %f s, want 1", got)
+	}
+}
+
+func TestDepthFreqPairs(t *testing.T) {
+	pts := DepthFreqPoints()
+	if len(pts) != 3 {
+		t.Fatalf("got %d depth points", len(pts))
+	}
+	c := Default()
+	for _, df := range pts {
+		cc := c.WithDepth(df)
+		if cc.PipelineStages() != df.Stages || cc.FreqMHz != df.FreqMHz {
+			t.Errorf("WithDepth(%+v) = stages %d freq %d", df, cc.PipelineStages(), cc.FreqMHz)
+		}
+		if err := cc.Validate(); err != nil {
+			t.Errorf("depth point %+v invalid: %v", df, err)
+		}
+	}
+}
+
+func TestWithHelpersDoNotMutate(t *testing.T) {
+	c := Default()
+	_ = c.WithWidth(1).WithL2(128, 16).WithPredictor(PredHybrid3_5KB)
+	if c.Width != 4 || c.Hier.L2.SizeBytes != 512*KB || c.Predictor != PredGShare1KB {
+		t.Error("With* helpers mutated the receiver")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []func(Config) Config{
+		func(c Config) Config { c.Width = 0; return c },
+		func(c Config) Config { c.Width = 9; return c },
+		func(c Config) Config { c.FrontEndDepth = 0; return c },
+		func(c Config) Config { c.FreqMHz = 0; return c },
+		func(c Config) Config { c.MulLatency = 0; return c },
+		func(c Config) Config { c.DivLatency = 0; return c },
+		func(c Config) Config { c.Hier.L2.Ways = 0; return c },
+	}
+	for i, f := range bad {
+		if err := f(Default()).Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestPredictorKindsInstantiate(t *testing.T) {
+	kinds := []PredictorKind{PredGShare1KB, PredHybrid3_5KB, PredBimodal2KB, PredStaticNT}
+	for _, k := range kinds {
+		var p branch.Predictor = k.New()
+		if p == nil || p.Name() == "" {
+			t.Errorf("kind %v produced bad predictor", k)
+		}
+		if k.String() == "" {
+			t.Errorf("kind %v unnamed", k)
+		}
+	}
+	// Fresh instances must not share state.
+	a, b := PredGShare1KB.New(), PredGShare1KB.New()
+	for i := 0; i < 10; i++ {
+		a.Update(3, true)
+	}
+	if b.Predict(3) != PredGShare1KB.New().Predict(3) {
+		t.Error("predictor instances share state")
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	if Default().String() == "" {
+		t.Error("empty config string")
+	}
+}

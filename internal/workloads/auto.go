@@ -1,0 +1,327 @@
+package workloads
+
+import (
+	"repro/internal/program"
+)
+
+// Qsort builds the MiBench qsort workload: an iterative quicksort with
+// an explicit stack and an insertion-sort cutoff for small partitions,
+// over an array of pseudo-random keys. Partition loops are branchy
+// with load-compare-store chains.
+func Qsort() *program.Program {
+	const (
+		elems     = 2200
+		arrBase   = 0x1000
+		stackBase = 0x100 // pairs (lo, hi)
+		cutoff    = 8
+	)
+	p := program.New("qsort", arrBase+elems+256)
+	r := newRNG(0x9507)
+	arr := make([]int64, elems)
+	for i := range arr {
+		arr[i] = r.intn(1 << 20)
+	}
+	p.SetDataSlice(arrBase, arr)
+
+	lo, hi, sp := R(1), R(2), R(3)
+	i, j, pivot := R(4), R(5), R(6)
+	vi, vj, t := R(7), R(8), R(9)
+	addr, addr2 := R(10), R(11)
+	mid, span := R(12), R(13)
+	cCut := R(14)
+	key := R(15)
+
+	b := p.Block("init")
+	b.Li(sp, stackBase)
+	b.Li(lo, 0)
+	b.Li(hi, elems-1)
+	b.Li(cCut, cutoff)
+	// push initial range
+	b.St(lo, sp, 0)
+	b.St(hi, sp, 1)
+	b.Addi(sp, sp, 2)
+
+	b = p.Block("pop")
+	b.Li(t, stackBase)
+	b.Bge(t, sp, "isort_all") // stack empty -> finish with insertion pass
+	b.Addi(sp, sp, -2)
+	b.Ld(lo, sp, 0)
+	b.Ld(hi, sp, 1)
+
+	b = p.Block("check")
+	b.Sub(span, hi, lo)
+	b.Blt(span, cCut, "pop") // small partition left for insertion sort
+
+	// Median-of-ends pivot: pivot = arr[(lo+hi)/2].
+	b = p.Block("partition")
+	b.Add(mid, lo, hi)
+	b.Shri(mid, mid, 1)
+	b.Ld(pivot, mid, arrBase)
+	b.Add(i, lo, R(0))
+	b.Add(j, hi, R(0))
+
+	b = p.Block("part_loop")
+	b = p.LoopBlock("scan_i", "scan_i")
+	b.Ld(vi, i, arrBase)
+	b.Bge(vi, pivot, "scan_j")
+	b.Addi(i, i, 1)
+	b.Jmp("scan_i")
+	b = p.Block("scan_j")
+	b.Ld(vj, j, arrBase)
+	b.Bge(pivot, vj, "maybe_swap")
+	b.Addi(j, j, -1)
+	b.Jmp("scan_j")
+	b = p.Block("maybe_swap")
+	b.Blt(j, i, "part_done")
+	b.Add(addr, i, R(0))
+	b.Add(addr2, j, R(0))
+	b.St(vj, addr, arrBase)
+	b.St(vi, addr2, arrBase)
+	b.Addi(i, i, 1)
+	b.Addi(j, j, -1)
+	b.Blt(i, j, "part_loop")
+	b.Beq(i, j, "part_loop")
+
+	b = p.Block("part_done")
+	// push (lo, j) and (i, hi) when non-trivial
+	b.Bge(lo, j, "push_right")
+	b.St(lo, sp, 0)
+	b.St(j, sp, 1)
+	b.Addi(sp, sp, 2)
+	b = p.Block("push_right")
+	b.Bge(i, hi, "pop")
+	b.St(i, sp, 0)
+	b.St(hi, sp, 1)
+	b.Addi(sp, sp, 2)
+	b.Jmp("pop")
+
+	// Final insertion sort over the whole nearly-sorted array.
+	b = p.Block("isort_all")
+	b.Li(i, 1)
+	b = p.Block("isort")
+	b.Ld(key, i, arrBase)
+	b.Add(j, i, R(0))
+	b = p.Block("isort_shift")
+	b.Addi(t, j, -1)
+	b.Blt(t, R(0), "isort_place")
+	b.Ld(vj, t, arrBase)
+	b.Bge(key, vj, "isort_place")
+	b.St(vj, j, arrBase)
+	b.Addi(j, j, -1)
+	b.Bne(j, R(0), "isort_shift")
+	b = p.Block("isort_place")
+	b.St(key, j, arrBase)
+	b.Addi(i, i, 1)
+	b.Li(t, elems)
+	b.Blt(i, t, "isort")
+
+	b = p.Block("done")
+	b.Ld(t, R(0), arrBase)
+	b.St(t, R(0), 0)
+	b.Halt()
+	return p
+}
+
+// susanImage synthesizes a grayscale test image with smooth gradients,
+// blobs and edges, so thresholded neighborhood comparisons behave like
+// they do on real images rather than on noise.
+func susanImage(w, h int, seed uint64) []int64 {
+	r := newRNG(seed)
+	img := make([]int64, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := int64((x*3 + y*2) % 256)
+			// rectangular bright blobs
+			if (x/17+y/13)%3 == 0 {
+				v += 90
+			}
+			v += r.intn(17) - 8
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			img[y*w+x] = v
+		}
+	}
+	return img
+}
+
+// SusanC builds the SUSAN corner detector: per pixel, compare the 3x3
+// neighborhood brightness against the nucleus with a threshold, count
+// the "univalue" area and flag corners below a geometric threshold.
+// Dominated by loads, subtractions and data-dependent branches.
+func SusanC() *program.Program {
+	return susanKernel("susan_c", 72, 52, 0x5CC1, 20, 3, true)
+}
+
+// SusanE builds the SUSAN edge detector: same USAN area computation
+// with the edge threshold (half the maximum area).
+func SusanE() *program.Program {
+	return susanKernel("susan_e", 72, 52, 0x5CE2, 28, 5, false)
+}
+
+func susanKernel(name string, width, height int, seed uint64, thresh, geom int64, corner bool) *program.Program {
+	const (
+		imgBase = 0x1000
+	)
+	outBase := int64(imgBase + width*height)
+	p := program.New(name, outBase+int64(width*height)+64)
+	p.SetDataSlice(imgBase, susanImage(width, height, seed))
+
+	x, y := R(1), R(2)
+	nuc, nb, diff, area := R(3), R(4), R(5), R(6)
+	addr, t := R(7), R(8)
+	cw, chg := R(9), R(10)
+	cth, cgeom := R(11), R(12)
+	rowPtr, res := R(13), R(14)
+	dx, dy := R(15), R(16)
+	cm1, c2 := R(17), R(18)
+
+	b := p.Block("init")
+	b.Li(y, 1)
+	b.Li(cw, int64(width))
+	b.Li(chg, int64(height-1))
+	b.Li(cth, thresh)
+	b.Li(cgeom, geom)
+	b.Li(cm1, -1)
+	b.Li(c2, 2)
+
+	b = p.Block("row")
+	b.Mul(rowPtr, y, cw)
+	b.Li(x, 1)
+
+	b = p.Block("px")
+	b.Add(addr, rowPtr, x)
+	b.Ld(nuc, addr, imgBase)
+	b.Li(area, 0)
+	b.Add(dy, cm1, R(0))
+
+	b = p.Block("ny")
+	b.Add(dx, cm1, R(0))
+	b = p.Block("nx")
+	// neighbor = img[(y+dy)*w + (x+dx)]
+	b.Mul(t, dy, cw)
+	b.Add(addr, rowPtr, t)
+	b.Add(addr, addr, x)
+	b.Add(addr, addr, dx)
+	b.Ld(nb, addr, imgBase)
+	b.Sub(diff, nb, nuc)
+	b.Bge(diff, R(0), "absdone")
+	b.Sub(diff, R(0), diff)
+	b = p.Block("absdone")
+	b.Bge(diff, cth, "nx_latch") // outside the univalue area
+	b.Addi(area, area, 1)
+	b = p.Block("nx_latch")
+	b.Addi(dx, dx, 1)
+	b.Blt(dx, c2, "nx")
+	b.Addi(dy, dy, 1)
+	b.Blt(dy, c2, "ny")
+
+	b = p.Block("decide")
+	b.Li(res, 0)
+	b.Bge(area, cgeom, "store")
+	b.Sub(res, cgeom, area) // response strength
+	if corner {
+		// Corners additionally require a bright nucleus (cheap proxy
+		// for the center-of-gravity test).
+		b.Slti(t, nuc, 60)
+		b.Beq(t, R(0), "store")
+		b.Li(res, 0)
+	}
+	b = p.Block("store")
+	b.Add(addr, rowPtr, x)
+	b.St(res, addr, outBase-imgBase+imgBase) // out[y*w+x]
+	b.Addi(x, x, 1)
+	b.Addi(t, cw, -1)
+	b.Blt(x, t, "px")
+
+	b = p.Block("row_latch")
+	b.Addi(y, y, 1)
+	b.Blt(y, chg, "row")
+
+	b = p.Block("done")
+	b.Ld(t, R(0), outBase)
+	b.St(t, R(0), 0)
+	b.Halt()
+	return p
+}
+
+// SusanS builds SUSAN smoothing: a 3x3 weighted convolution per pixel
+// with a divide by the accumulated weight — multiply- and divide-heavy
+// structured image traversal.
+func SusanS() *program.Program {
+	const (
+		width   = 80
+		height  = 56
+		imgBase = 0x1000
+		wBase   = 0x100 // 3x3 weights
+	)
+	outBase := int64(imgBase + width*height)
+	p := program.New("susan_s", outBase+int64(width*height)+64)
+	p.SetDataSlice(imgBase, susanImage(width, height, 0x5C53))
+	p.SetDataSlice(wBase, []int64{1, 2, 1, 2, 4, 2, 1, 2, 1})
+
+	x, y := R(1), R(2)
+	acc, wsum, nb, wv := R(3), R(4), R(5), R(6)
+	addr, t := R(7), R(8)
+	cw, chg := R(9), R(10)
+	rowPtr := R(11)
+	dx, dy := R(12), R(13)
+	cm1, c2 := R(14), R(15)
+	widx := R(16)
+
+	b := p.Block("init")
+	b.Li(y, 1)
+	b.Li(cw, width)
+	b.Li(chg, height-1)
+	b.Li(cm1, -1)
+	b.Li(c2, 2)
+
+	b = p.Block("row")
+	b.Mul(rowPtr, y, cw)
+	b.Li(x, 1)
+
+	b = p.LoopBlock("px", "px_latch")
+	b.Li(acc, 0)
+	b.Li(wsum, 0)
+	b.Li(widx, 0)
+	b.Add(dy, cm1, R(0))
+	b = p.Block("cy")
+	b.Add(dx, cm1, R(0))
+	b = p.LoopBlockN("cx", "cx", 3)
+	b.Mul(t, dy, cw)
+	b.Add(addr, rowPtr, t)
+	b.Add(addr, addr, x)
+	b.Add(addr, addr, dx)
+	b.Ld(nb, addr, imgBase)
+	b.Ld(wv, widx, wBase)
+	b.Mul(t, nb, wv)
+	b.Add(acc, acc, t)
+	b.Add(wsum, wsum, wv)
+	b.Addi(widx, widx, 1)
+	b.Addi(dx, dx, 1)
+	b.Blt(dx, c2, "cx")
+	b = p.Block("cy_latch")
+	b.Addi(dy, dy, 1)
+	b.Blt(dy, c2, "cy")
+	b = p.Block("store")
+	b.Div(acc, acc, wsum)
+	b.Add(addr, rowPtr, x)
+	b.St(acc, addr, outBase)
+	b = p.Block("px_latch")
+	b.Addi(x, x, 1)
+	b.Addi(t, cw, -1)
+	b.Blt(x, t, "px")
+
+	b = p.Block("row_latch")
+	b.Addi(y, y, 1)
+	b.Blt(y, chg, "row")
+
+	b = p.Block("done")
+	b.Ld(t, R(0), outBase)
+	b.St(t, R(0), 0)
+	b.Halt()
+	return p
+}

@@ -1,0 +1,638 @@
+package workloads
+
+import (
+	"repro/internal/program"
+)
+
+// dctCoef returns an 8x8 integer cosine-transform coefficient table
+// (scaled to [-64,64]); a fixed-point approximation of the JPEG DCT
+// basis, computed without floating point to stay deterministic.
+func dctCoef() []int64 {
+	// round(64*cos((2x+1)u*pi/16)) precomputed.
+	cos := [8][8]int64{
+		{64, 64, 64, 64, 64, 64, 64, 64},
+		{63, 53, 36, 13, -13, -36, -53, -63},
+		{59, 25, -25, -59, -59, -25, 25, 59},
+		{53, -13, -63, -36, 36, 63, 13, -53},
+		{45, -45, -45, 45, 45, -45, -45, 45},
+		{36, -63, 13, 53, -53, -13, 63, -36},
+		{25, -59, 59, -25, -25, 59, -59, 25},
+		{13, -36, 53, -63, 63, -53, 36, -13},
+	}
+	out := make([]int64, 64)
+	for u := 0; u < 8; u++ {
+		for x := 0; x < 8; x++ {
+			out[u*8+x] = cos[u][x]
+		}
+	}
+	return out
+}
+
+// jpegQuant returns a luminance-like quantization table (entries ≥ 1).
+func jpegQuant() []int64 {
+	q := []int64{
+		16, 11, 10, 16, 24, 40, 51, 61,
+		12, 12, 14, 19, 26, 58, 60, 55,
+		14, 13, 16, 24, 40, 57, 69, 56,
+		14, 17, 22, 29, 51, 87, 80, 62,
+		18, 22, 37, 56, 68, 109, 103, 77,
+		24, 35, 55, 64, 81, 104, 113, 92,
+		49, 64, 78, 87, 103, 121, 120, 101,
+		72, 92, 95, 98, 112, 100, 103, 99,
+	}
+	return q
+}
+
+// JpegC builds a JPEG-style encoder kernel: per 8x8 block, a separable
+// integer DCT (matrix form) followed by quantization with integer
+// divides. The divides make it one of the divide-heaviest kernels, and
+// the multiply-accumulate inner loops carry short dependency chains.
+func JpegC() *program.Program {
+	const (
+		blocks    = 34
+		imgBase   = 0x4000
+		outBase   = imgBase + blocks*64
+		tmpBase   = 0x80
+		coefBase  = 0x100
+		quantBase = 0x180
+	)
+	p := program.New("jpeg_c", outBase+blocks*64+64)
+	r := newRNG(0x01C1)
+	img := make([]int64, blocks*64)
+	for i := range img {
+		img[i] = r.intn(256) - 128
+	}
+	p.SetDataSlice(imgBase, img)
+	p.SetDataSlice(coefBase, dctCoef())
+	p.SetDataSlice(quantBase, jpegQuant())
+
+	blk, row, u, x := R(1), R(2), R(3), R(4)
+	acc, addr, v, cf := R(5), R(6), R(7), R(8)
+	inPtr, qv, t := R(9), R(10), R(11)
+	c8, cBlocks := R(12), R(13)
+	rowOff, uOff := R(14), R(15)
+	col := R(16)
+
+	b := p.Block("init")
+	b.Li(blk, 0)
+	b.Li(c8, 8)
+	b.Li(cBlocks, blocks)
+
+	b = p.Block("block")
+	b.Shli(inPtr, blk, 6)
+	b.Addi(inPtr, inPtr, imgBase)
+	b.Li(row, 0)
+
+	// --- Row pass: tmp[row*8+u] = sum_x img[row*8+x]*coef[u*8+x] >> 6 ---
+	b = p.Block("rp_row")
+	b.Shli(rowOff, row, 3)
+	b.Li(u, 0)
+	b = p.Block("rp_u")
+	b.Li(acc, 0)
+	b.Shli(uOff, u, 3)
+	b.Li(x, 0)
+	b = p.LoopBlockN("rp_x", "rp_x", 4)
+	b.Add(addr, rowOff, x)
+	b.Add(addr, addr, inPtr)
+	b.Ld(v, addr, 0)
+	b.Add(addr, uOff, x)
+	b.Ld(cf, addr, coefBase)
+	b.Mul(t, v, cf)
+	b.Add(acc, acc, t)
+	b.Addi(x, x, 1)
+	b.Blt(x, c8, "rp_x")
+	b = p.Block("rp_store")
+	b.Srai(acc, acc, 6)
+	b.Add(addr, rowOff, u)
+	b.St(acc, addr, tmpBase)
+	b.Addi(u, u, 1)
+	b.Blt(u, c8, "rp_u")
+	b.Addi(row, row, 1)
+	b.Blt(row, c8, "rp_row")
+
+	// --- Column pass + quantization ---
+	b = p.Block("cp_init")
+	b.Li(col, 0)
+	b = p.Block("cp_col")
+	b.Li(u, 0)
+	b = p.Block("cp_u")
+	b.Li(acc, 0)
+	b.Shli(uOff, u, 3)
+	b.Li(x, 0)
+	b = p.LoopBlockN("cp_x", "cp_x", 4)
+	b.Shli(addr, x, 3)
+	b.Add(addr, addr, col)
+	b.Ld(v, addr, tmpBase)
+	b.Add(addr, uOff, x)
+	b.Ld(cf, addr, coefBase)
+	b.Mul(t, v, cf)
+	b.Add(acc, acc, t)
+	b.Addi(x, x, 1)
+	b.Blt(x, c8, "cp_x")
+	b = p.Block("cp_quant")
+	b.Srai(acc, acc, 6)
+	b.Add(addr, uOff, col)
+	b.Ld(qv, addr, quantBase)
+	b.Div(acc, acc, qv)
+	b.Shli(t, blk, 6)
+	b.Add(t, t, addr)
+	b.St(acc, t, outBase)
+	b.Addi(u, u, 1)
+	b.Blt(u, c8, "cp_u")
+	b.Addi(col, col, 1)
+	b.Blt(col, c8, "cp_col")
+
+	b = p.Block("blk_latch")
+	b.Addi(blk, blk, 1)
+	b.Blt(blk, cBlocks, "block")
+
+	b = p.Block("done")
+	b.Ld(t, R(0), outBase)
+	b.St(t, R(0), 0)
+	b.Halt()
+	return p
+}
+
+// JpegD builds the matching JPEG-style decoder: dequantization with
+// multiplies followed by the inverse transform. Multiply-heavy without
+// the divides of the encoder.
+func JpegD() *program.Program {
+	const (
+		blocks    = 26
+		inBase    = 0x4000
+		outBase   = inBase + blocks*64
+		tmpBase   = 0x80
+		coefBase  = 0x100
+		quantBase = 0x180
+	)
+	p := program.New("jpeg_d", outBase+blocks*64+64)
+	r := newRNG(0x01D2)
+	coded := make([]int64, blocks*64)
+	for i := range coded {
+		coded[i] = r.intn(33) - 16
+	}
+	p.SetDataSlice(inBase, coded)
+	p.SetDataSlice(coefBase, dctCoef())
+	p.SetDataSlice(quantBase, jpegQuant())
+
+	blk, row, u, x := R(1), R(2), R(3), R(4)
+	acc, addr, v, cf := R(5), R(6), R(7), R(8)
+	inPtr, qv, t := R(9), R(10), R(11)
+	c8, cBlocks := R(12), R(13)
+	rowOff := R(14)
+	_ = rowOff
+	col := R(16)
+
+	b := p.Block("init")
+	b.Li(blk, 0)
+	b.Li(c8, 8)
+	b.Li(cBlocks, blocks)
+
+	b = p.Block("block")
+	b.Shli(inPtr, blk, 6)
+	b.Addi(inPtr, inPtr, inBase)
+	b.Li(row, 0)
+
+	// Dequantize + inverse row transform:
+	// tmp[row*8+x] = sum_u (in[row*8+u]*quant[row*8+u]) * coef[u*8+x] >> 6
+	b = p.Block("rp_row")
+	b.Shli(rowOff, row, 3)
+	b.Li(x, 0)
+	b = p.Block("rp_x")
+	b.Li(acc, 0)
+	b.Li(u, 0)
+	b = p.LoopBlockN("rp_u", "rp_u", 4)
+	b.Add(addr, rowOff, u)
+	b.Add(t, addr, inPtr)
+	b.Ld(v, t, 0) // in[blk*64 + row*8 + u]
+	b.Ld(qv, addr, quantBase)
+	b.Mul(v, v, qv)
+	b.Shli(t, u, 3)
+	b.Add(t, t, x)
+	b.Ld(cf, t, coefBase)
+	b.Mul(t, v, cf)
+	b.Add(acc, acc, t)
+	b.Addi(u, u, 1)
+	b.Blt(u, c8, "rp_u")
+	b = p.Block("rp_store")
+	b.Srai(acc, acc, 8)
+	b.Add(addr, rowOff, x)
+	b.St(acc, addr, tmpBase)
+	b.Addi(x, x, 1)
+	b.Blt(x, c8, "rp_x")
+	b.Addi(row, row, 1)
+	b.Blt(row, c8, "rp_row")
+
+	// Inverse column transform: out[x*8+col] = sum_u tmp[u*8+col]*coef[u*8+x] >> 6
+	b = p.Block("cp_init")
+	b.Li(col, 0)
+	b = p.Block("cp_col")
+	b.Li(x, 0)
+	b = p.Block("cp_x")
+	b.Li(acc, 0)
+	b.Li(u, 0)
+	b = p.LoopBlockN("cp_u", "cp_u", 4)
+	b.Shli(addr, u, 3)
+	b.Add(addr, addr, col)
+	b.Ld(v, addr, tmpBase)
+	b.Shli(t, u, 3)
+	b.Add(t, t, x)
+	b.Ld(cf, t, coefBase)
+	b.Mul(t, v, cf)
+	b.Add(acc, acc, t)
+	b.Addi(u, u, 1)
+	b.Blt(u, c8, "cp_u")
+	b = p.Block("cp_store")
+	b.Srai(acc, acc, 6)
+	b.Shli(addr, x, 3)
+	b.Add(addr, addr, col)
+	b.Shli(t, blk, 6)
+	b.Add(t, t, addr)
+	b.St(acc, t, outBase)
+	b.Addi(x, x, 1)
+	b.Blt(x, c8, "cp_x")
+	b.Addi(col, col, 1)
+	b.Blt(col, c8, "cp_col")
+
+	b = p.Block("blk_latch")
+	b.Addi(blk, blk, 1)
+	b.Blt(blk, cBlocks, "block")
+
+	b = p.Block("done")
+	b.Ld(t, R(0), outBase)
+	b.St(t, R(0), 0)
+	b.Halt()
+	return p
+}
+
+// Lame builds an MP3-encoder-style polyphase subband filter: for every
+// frame, each of 32 subbands accumulates a 64-tap windowed
+// multiply-accumulate over the sample history. Long MAC loops with a
+// serial accumulator chain, as in the real lame filterbank.
+func Lame() *program.Program {
+	const (
+		frames   = 16
+		taps     = 64
+		subbands = 32
+		xBase    = 0x2000 // samples
+		hBase    = 0x200  // 32*64 window coefficients
+		outBase  = 0x6000
+		nSamples = frames*subbands + taps
+	)
+	p := program.New("lame", outBase+frames*subbands+64)
+	r := newRNG(0x1A3E)
+	x := make([]int64, nSamples)
+	for i := range x {
+		x[i] = r.intn(2048) - 1024
+	}
+	h := make([]int64, subbands*taps)
+	for i := range h {
+		h[i] = r.intn(128) - 64
+	}
+	p.SetDataSlice(xBase, x)
+	p.SetDataSlice(hBase, h)
+
+	frame, sb, k := R(1), R(2), R(3)
+	acc, addr, v, cf := R(4), R(5), R(6), R(7)
+	xPtr, hPtr, t := R(8), R(9), R(10)
+	cTaps, cSub, cFrames := R(11), R(12), R(13)
+	outIdx := R(14)
+
+	b := p.Block("init")
+	b.Li(frame, 0)
+	b.Li(cTaps, taps)
+	b.Li(cSub, subbands)
+	b.Li(cFrames, frames)
+	b.Li(outIdx, 0)
+
+	b = p.Block("frame")
+	b.Shli(xPtr, frame, 5) // frame*32
+	b.Addi(xPtr, xPtr, xBase)
+	b.Li(sb, 0)
+
+	b = p.Block("subband")
+	b.Shli(hPtr, sb, 6) // sb*64
+	b.Addi(hPtr, hPtr, hBase)
+	b.Li(acc, 0)
+	b.Li(k, 0)
+
+	b = p.LoopBlockN("mac", "mac", 4)
+	b.Add(addr, xPtr, k)
+	b.Ld(v, addr, 0)
+	b.Add(addr, hPtr, k)
+	b.Ld(cf, addr, 0)
+	b.Mul(t, v, cf)
+	b.Add(acc, acc, t)
+	b.Addi(k, k, 1)
+	b.Blt(k, cTaps, "mac")
+
+	b = p.Block("sb_store")
+	b.Srai(acc, acc, 8)
+	b.St(acc, outIdx, outBase)
+	b.Addi(outIdx, outIdx, 1)
+	b.Addi(sb, sb, 1)
+	b.Blt(sb, cSub, "subband")
+
+	b = p.Block("frame_latch")
+	b.Addi(frame, frame, 1)
+	b.Blt(frame, cFrames, "frame")
+
+	b = p.Block("done")
+	b.Ld(t, R(0), outBase)
+	b.St(t, R(0), 0)
+	b.Halt()
+	return p
+}
+
+// Tiff2BW converts an RGB image to grayscale with the ITU weighting
+// gray = (77r + 151g + 28b) >> 8: a streaming loop whose three
+// multiplies per pixel give it the paper's largest mul/div component.
+func Tiff2BW() *program.Program {
+	const (
+		pixels = 17000
+		rBase  = 0x1000
+		gBase  = rBase + pixels
+		bBase  = gBase + pixels
+		oBase  = bBase + pixels
+	)
+	p := program.New("tiff2bw", oBase+pixels+64)
+	r := newRNG(0x2B30)
+	for _, base := range []int64{rBase, gBase, bBase} {
+		ch := make([]int64, pixels)
+		for i := range ch {
+			ch[i] = r.intn(256)
+		}
+		p.SetDataSlice(base, ch)
+	}
+
+	i, n := R(1), R(2)
+	rv, gv, bv := R(3), R(4), R(5)
+	t1, t2, t3 := R(6), R(7), R(8)
+	w1, w2, w3 := R(9), R(10), R(11)
+
+	b := p.Block("init")
+	b.Li(i, 0)
+	b.Li(n, pixels)
+	b.Li(w1, 77)
+	b.Li(w2, 151)
+	b.Li(w3, 28)
+
+	b = p.LoopBlockN("px", "px", 4)
+	b.Ld(rv, i, rBase)
+	b.Ld(gv, i, gBase)
+	b.Ld(bv, i, bBase)
+	b.Mul(t1, rv, w1)
+	b.Mul(t2, gv, w2)
+	b.Mul(t3, bv, w3)
+	b.Add(t1, t1, t2)
+	b.Add(t1, t1, t3)
+	b.Shri(t1, t1, 8)
+	b.St(t1, i, oBase)
+	b.Addi(i, i, 1)
+	b.Blt(i, n, "px")
+
+	b = p.Block("done")
+	b.Ld(t1, R(0), oBase)
+	b.St(t1, R(0), 0)
+	b.Halt()
+	return p
+}
+
+// Tiff2RGBA expands a palette image to packed RGBA: per pixel a palette
+// load (data-dependent address), channel unpacking with shifts/masks,
+// and repacking. Load-use chains dominate.
+func Tiff2RGBA() *program.Program {
+	const (
+		pixels  = 15000
+		palBase = 0x100
+		inBase  = 0x1000
+		outBase = inBase + pixels
+	)
+	p := program.New("tiff2rgba", outBase+pixels+64)
+	r := newRNG(0x2BA4)
+	pal := make([]int64, 256)
+	for i := range pal {
+		pal[i] = r.intn(1 << 24)
+	}
+	img := make([]int64, pixels)
+	for i := range img {
+		img[i] = r.intn(256)
+	}
+	p.SetDataSlice(palBase, pal)
+	p.SetDataSlice(inBase, img)
+
+	i, n := R(1), R(2)
+	idx, pv := R(3), R(4)
+	rv, gv, bv := R(5), R(6), R(7)
+	packed, t := R(8), R(9)
+
+	b := p.Block("init")
+	b.Li(i, 0)
+	b.Li(n, pixels)
+
+	b = p.LoopBlock("px", "px")
+	b.Ld(idx, i, inBase)
+	b.Ld(pv, idx, palBase)
+	b.Andi(rv, pv, 0xFF)
+	b.Shri(gv, pv, 8)
+	b.Andi(gv, gv, 0xFF)
+	b.Shri(bv, pv, 16)
+	b.Andi(bv, bv, 0xFF)
+	b.Shli(packed, bv, 8)
+	b.Or(packed, packed, gv)
+	b.Shli(packed, packed, 8)
+	b.Or(packed, packed, rv)
+	b.Ori(packed, packed, 0xFF<<24) // alpha
+	b.St(packed, i, outBase)
+	b.Addi(t, idx, 0) // keep idx live into next iteration (palette reuse)
+	b.Addi(i, i, 1)
+	b.Blt(i, n, "px")
+
+	b = p.Block("done")
+	b.Ld(t, R(0), outBase)
+	b.St(t, R(0), 0)
+	b.Halt()
+	return p
+}
+
+// TiffDither implements Floyd–Steinberg error-diffusion dithering: per
+// pixel, a threshold decision and error propagation to three neighbors.
+// The error accumulator forms a serial dependence chain through every
+// pixel — the benchmark whose dependency stalls the paper highlights.
+func TiffDither() *program.Program {
+	const (
+		width   = 120
+		height  = 78
+		imgBase = 0x1000
+		errBase = 0x200 // next-row error buffer, width+2 entries
+		outBase = imgBase + width*height
+	)
+	p := program.New("tiffdither", outBase+width*height+64)
+	r := newRNG(0x2D17)
+	img := make([]int64, width*height)
+	for i := range img {
+		img[i] = r.intn(256)
+	}
+	p.SetDataSlice(imgBase, img)
+
+	x, y := R(1), R(2)
+	pix, old, newv, errv := R(3), R(4), R(5), R(6)
+	carry := R(7) // 7/16 of the previous pixel's error, within the row
+	addr, t, t2 := R(8), R(9), R(10)
+	cw, ch, c255, c128 := R(11), R(12), R(13), R(14)
+	rowPtr := R(15)
+
+	b := p.Block("init")
+	b.Li(y, 0)
+	b.Li(cw, width)
+	b.Li(ch, height)
+	b.Li(c255, 255)
+	b.Li(c128, 128)
+
+	b = p.Block("row")
+	b.Mul(rowPtr, y, cw)
+	b.Li(x, 0)
+	b.Li(carry, 0)
+
+	b = p.LoopBlock("px", "px_latch")
+	b.Add(addr, rowPtr, x)
+	b.Ld(pix, addr, imgBase)
+	// old = pix + carry + nextRowErr[x+1]
+	b.Ld(t, x, errBase+1)
+	b.Add(old, pix, carry)
+	b.Add(old, old, t)
+	b.St(R(0), x, errBase+1) // consume the stored error
+	b.Blt(old, c128, "px_black")
+	b.Add(newv, c255, R(0))
+	b.Jmp("px_err")
+	b = p.Block("px_black")
+	b.Li(newv, 0)
+	b = p.Block("px_err")
+	b.Sub(errv, old, newv)
+	b.Add(addr, rowPtr, x)
+	b.St(newv, addr, outBase)
+	// carry = 7*err/16 to the right neighbor
+	b.Shli(t, errv, 3)
+	b.Sub(t, t, errv) // 7*err
+	b.Srai(carry, t, 4)
+	// nextRow[x] += 3*err/16 ; nextRow[x+1] += 5*err/16 ; nextRow[x+2] += err/16
+	b.Shli(t, errv, 1)
+	b.Add(t, t, errv) // 3*err
+	b.Srai(t, t, 4)
+	b.Ld(t2, x, errBase)
+	b.Add(t2, t2, t)
+	b.St(t2, x, errBase)
+	b.Shli(t, errv, 2)
+	b.Add(t, t, errv) // 5*err
+	b.Srai(t, t, 4)
+	b.Ld(t2, x, errBase+1)
+	b.Add(t2, t2, t)
+	b.St(t2, x, errBase+1)
+	b.Srai(t, errv, 4)
+	b.Ld(t2, x, errBase+2)
+	b.Add(t2, t2, t)
+	b.St(t2, x, errBase+2)
+	b = p.Block("px_latch")
+	b.Addi(x, x, 1)
+	b.Blt(x, cw, "px")
+
+	b = p.Block("row_latch")
+	b.Addi(y, y, 1)
+	b.Blt(y, ch, "row")
+
+	b = p.Block("done")
+	b.Ld(t, R(0), outBase)
+	b.St(t, R(0), 0)
+	b.Halt()
+	return p
+}
+
+// TiffMedian builds the histogram phase of median-cut color reduction:
+// a bucket histogram over the image (read-modify-write chains through
+// memory), a prefix scan to find cut points, and a remap pass through
+// a lookup table.
+func TiffMedian() *program.Program {
+	const (
+		pixels   = 11000
+		buckets  = 64
+		imgBase  = 0x1000
+		histBase = 0x100
+		lutBase  = 0x200
+		outBase  = imgBase + pixels
+	)
+	p := program.New("tiffmedian", outBase+pixels+64)
+	r := newRNG(0x2E0D)
+	img := make([]int64, pixels)
+	for i := range img {
+		// Clustered color distribution, as photographic images have.
+		c := r.intn(4) * 64
+		img[i] = c + r.intn(64)
+	}
+	p.SetDataSlice(imgBase, img)
+
+	i, n := R(1), R(2)
+	v, bkt, h := R(3), R(4), R(5)
+	acc, half, cut := R(6), R(7), R(8)
+	t, nb := R(9), R(10)
+
+	b := p.Block("init")
+	b.Li(i, 0)
+	b.Li(n, pixels)
+	b.Li(nb, buckets)
+
+	// Histogram pass: hist[v>>2]++.
+	b = p.LoopBlockN("hist", "hist", 4)
+	b.Ld(v, i, imgBase)
+	b.Shri(bkt, v, 2)
+	b.Ld(h, bkt, histBase)
+	b.Addi(h, h, 1)
+	b.St(h, bkt, histBase)
+	b.Addi(i, i, 1)
+	b.Blt(i, n, "hist")
+
+	// Prefix scan to the median bucket.
+	b = p.Block("scan_init")
+	b.Li(acc, 0)
+	b.Li(cut, 0)
+	b.Li(half, pixels/2)
+	b.Li(i, 0)
+	b = p.LoopBlock("scan", "scan_latch")
+	b.Ld(h, i, histBase)
+	b.Add(acc, acc, h)
+	b.Bge(acc, half, "scan_done")
+	b.Addi(cut, cut, 1)
+	b = p.Block("scan_latch")
+	b.Addi(i, i, 1)
+	b.Blt(i, nb, "scan")
+	b = p.Block("scan_done")
+
+	// Build the remap LUT: bucket -> 0 or 255 around the cut.
+	b.Li(i, 0)
+	b = p.LoopBlock("lut", "lut_latch")
+	b.Blt(i, cut, "lut_low")
+	b.Li(t, 255)
+	b.St(t, i, lutBase)
+	b.Jmp("lut_latch")
+	b = p.Block("lut_low")
+	b.St(R(0), i, lutBase)
+	b = p.Block("lut_latch")
+	b.Addi(i, i, 1)
+	b.Blt(i, nb, "lut")
+
+	// Remap pass.
+	b = p.Block("remap_init")
+	b.Li(i, 0)
+	b = p.LoopBlockN("remap", "remap", 4)
+	b.Ld(v, i, imgBase)
+	b.Shri(bkt, v, 2)
+	b.Ld(t, bkt, lutBase)
+	b.St(t, i, outBase)
+	b.Addi(i, i, 1)
+	b.Blt(i, n, "remap")
+
+	b = p.Block("done")
+	b.Ld(t, R(0), outBase)
+	b.St(t, R(0), 0)
+	b.Halt()
+	return p
+}

@@ -1,0 +1,474 @@
+package workloads
+
+import (
+	"repro/internal/program"
+)
+
+// Extended returns five additional MiBench kernels beyond the paper's
+// nineteen (MiBench itself is larger than the paper's selection): the
+// automotive bitcount and basicmath kernels, the telecom crc32 and fft
+// kernels and the security blowfish kernel. They widen the behavioral
+// coverage of the validation suite (see the extended-validation test
+// and EXPERIMENTS.md).
+func Extended() []Spec {
+	return []Spec{
+		{"bitcount", "auto", Bitcount},
+		{"basicmath", "auto", Basicmath},
+		{"crc32", "telecom", CRC32},
+		{"fft", "telecom", FFT},
+		{"blowfish", "security", Blowfish},
+	}
+}
+
+// Bitcount counts set bits in a stream of words three ways — shift
+// loop, Kernighan's n&(n-1) trick and a nibble lookup table — exactly
+// the structure of MiBench's bitcnts. Branch behaviour is data
+// dependent in the first two methods and table-driven in the third.
+func Bitcount() *program.Program {
+	const (
+		values  = 3600
+		inBase  = 0x1000
+		lutBase = 0x100 // 16-entry nibble popcount
+		outBase = 0x40
+	)
+	p := program.New("bitcount", inBase+values+64)
+	r := newRNG(0xB17C)
+	in := make([]int64, values)
+	for i := range in {
+		in[i] = int64(r.next() & 0xFFFFFFFF)
+	}
+	p.SetDataSlice(inBase, in)
+	p.SetDataSlice(lutBase, []int64{0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4})
+
+	i, n := R(1), R(2)
+	v, cnt, t := R(3), R(4), R(5)
+	total1, total2, total3 := R(6), R(7), R(8)
+	nib, k, c8 := R(9), R(10), R(11)
+
+	b := p.Block("init")
+	b.Li(i, 0)
+	b.Li(n, values)
+	b.Li(c8, 8)
+
+	b = p.LoopBlock("word", "word_latch")
+	b.Ld(v, i, inBase)
+
+	// Method 1: test-and-shift over 32 bits.
+	b.Li(cnt, 0)
+	b.Li(k, 0)
+	b = p.Block("m1")
+	b.Andi(t, v, 1)
+	b.Add(cnt, cnt, t)
+	b.Shri(v, v, 1)
+	b.Addi(k, k, 1)
+	b.Bne(v, R(0), "m1")
+	b.Add(total1, total1, cnt)
+
+	// Method 2: Kernighan's clear-lowest-set-bit.
+	b = p.Block("m2_init")
+	b.Ld(v, i, inBase)
+	b.Li(cnt, 0)
+	b.Beq(v, R(0), "m2_done")
+	b = p.Block("m2")
+	b.Addi(t, v, -1)
+	b.And(v, v, t)
+	b.Addi(cnt, cnt, 1)
+	b.Bne(v, R(0), "m2")
+	b = p.Block("m2_done")
+	b.Add(total2, total2, cnt)
+
+	// Method 3: nibble lookup table, 8 nibbles.
+	b.Ld(v, i, inBase)
+	b.Li(cnt, 0)
+	b.Li(k, 0)
+	b = p.LoopBlockN("m3", "m3", 4)
+	b.Andi(nib, v, 15)
+	b.Ld(t, nib, lutBase)
+	b.Add(cnt, cnt, t)
+	b.Shri(v, v, 4)
+	b.Addi(k, k, 1)
+	b.Blt(k, c8, "m3")
+	b = p.Block("m3_done")
+	b.Add(total3, total3, cnt)
+
+	b = p.Block("word_latch")
+	b.Addi(i, i, 1)
+	b.Blt(i, n, "word")
+
+	b = p.Block("done")
+	b.St(total1, R(0), outBase)
+	b.St(total2, R(0), outBase+1)
+	b.St(total3, R(0), outBase+2)
+	b.Halt()
+	return p
+}
+
+// Basicmath exercises MiBench basicmath's kernels in integer form:
+// Newton integer square roots, greatest common divisors (divide-heavy)
+// and a cubic evaluated by Horner's rule per input.
+func Basicmath() *program.Program {
+	const (
+		values  = 2600
+		inBase  = 0x1000
+		outBase = 0x3000
+	)
+	p := program.New("basicmath", outBase+values+64)
+	r := newRNG(0xBA51)
+	in := make([]int64, values)
+	for i := range in {
+		in[i] = 1 + r.intn(1<<24)
+	}
+	p.SetDataSlice(inBase, in)
+
+	i, n := R(1), R(2)
+	x, g, prev, t := R(3), R(4), R(5), R(6)
+	a, bb, acc := R(7), R(8), R(9)
+	iter := R(10)
+
+	b := p.Block("init")
+	b.Li(i, 0)
+	b.Li(n, values)
+
+	b = p.LoopBlock("val", "val_latch")
+	b.Ld(x, i, inBase)
+
+	// Integer sqrt by Newton iteration: g = (g + x/g)/2 until stable.
+	b.Srai(g, x, 12)
+	b.Ori(g, g, 1) // positive start
+	b.Li(iter, 0)
+	b = p.Block("newton")
+	b.Add(prev, g, R(0))
+	b.Div(t, x, g)
+	b.Add(g, g, t)
+	b.Srai(g, g, 1)
+	b.Addi(iter, iter, 1)
+	b.Slti(t, iter, 24)
+	b.Beq(t, R(0), "newton_done")
+	b.Bne(g, prev, "newton")
+	b = p.Block("newton_done")
+
+	// GCD of x and a rotating partner value.
+	b.Addi(a, x, 0)
+	b.Addi(bb, i, 1)
+	b.Shli(bb, bb, 5)
+	b.Ori(bb, bb, 3)
+	b = p.Block("gcd")
+	b.Beq(bb, R(0), "gcd_done")
+	b.Rem(t, a, bb)
+	b.Add(a, bb, R(0))
+	b.Add(bb, t, R(0))
+	b.Jmp("gcd")
+	b = p.Block("gcd_done")
+
+	// Horner cubic: acc = ((x*3 + 7)*x - 5)*x + 11, in a bounded range.
+	b.Andi(t, x, 0xFFF)
+	b.Shli(acc, t, 1)
+	b.Add(acc, acc, t) // 3x
+	b.Addi(acc, acc, 7)
+	b.Mul(acc, acc, t)
+	b.Addi(acc, acc, -5)
+	b.Mul(acc, acc, t)
+	b.Addi(acc, acc, 11)
+
+	b.Add(t, g, a)
+	b.Add(t, t, acc)
+	b.St(t, i, outBase)
+
+	b = p.Block("val_latch")
+	b.Addi(i, i, 1)
+	b.Blt(i, n, "val")
+
+	b = p.Block("done")
+	b.Ld(t, R(0), outBase)
+	b.St(t, R(0), 0)
+	b.Halt()
+	return p
+}
+
+// CRC32 computes a table-driven CRC over a byte stream: per byte one
+// data load, one table load (data-dependent index), xor and shift —
+// the tight serial load-use chain of the real kernel.
+func CRC32() *program.Program {
+	const (
+		bytes_   = 36000
+		tabBase  = 0x100 // 256-entry CRC table
+		inBase   = 0x1000
+		poly     = 0xEDB88320
+		wordMask = (1 << 32) - 1
+	)
+	p := program.New("crc32", inBase+bytes_+64)
+	// Build the standard CRC-32 table at construction time.
+	tab := make([]int64, 256)
+	for i := 0; i < 256; i++ {
+		c := uint32(i)
+		for k := 0; k < 8; k++ {
+			if c&1 != 0 {
+				c = (c >> 1) ^ poly
+			} else {
+				c >>= 1
+			}
+		}
+		tab[i] = int64(c)
+	}
+	p.SetDataSlice(tabBase, tab)
+	r := newRNG(0xC3C3)
+	data := make([]int64, bytes_)
+	for i := range data {
+		data[i] = r.intn(256)
+	}
+	p.SetDataSlice(inBase, data)
+
+	i, n := R(1), R(2)
+	crc, by, idx, t := R(3), R(4), R(5), R(6)
+
+	b := p.Block("init")
+	b.Li(i, 0)
+	b.Li(n, bytes_)
+	b.Li(crc, wordMask)
+
+	b = p.LoopBlockN("byte", "byte", 4)
+	b.Ld(by, i, inBase)
+	b.Xor(idx, crc, by)
+	b.Andi(idx, idx, 0xFF)
+	b.Ld(t, idx, tabBase)
+	b.Shri(crc, crc, 8)
+	b.Xor(crc, crc, t)
+	b.Addi(i, i, 1)
+	b.Blt(i, n, "byte")
+
+	b = p.Block("done")
+	b.Xori(crc, crc, wordMask)
+	b.St(crc, R(0), 0)
+	b.Halt()
+	return p
+}
+
+// FFT runs an iterative radix-2 decimation-in-time integer FFT (and
+// its inverse) over a synthetic signal with fixed-point twiddle
+// factors: multiply-heavy butterflies with strided, power-of-two
+// access patterns.
+func FFT() *program.Program {
+	const (
+		logN   = 10
+		points = 1 << logN
+		reBase = 0x1000
+		imBase = reBase + points
+		twBase = 0x100 // cos/sin pairs per stage offset, <<12 fixed point
+		rounds = 5     // forward+inverse passes for dynamic length
+	)
+	p := program.New("fft", imBase+points+64)
+	// Bit-reversed-ready input: a couple of tones plus noise.
+	r := newRNG(0xFF7A)
+	re := make([]int64, points)
+	for i := range re {
+		re[i] = sinApprox(int64(i)*40) + sinApprox(int64(i)*170)/2 + r.intn(65) - 32
+	}
+	p.SetDataSlice(reBase, re)
+	// Twiddle table: tw[k] = (cos, sin)(−2πk/points) for k < points/2.
+	tw := make([]int64, points)
+	for k := 0; k < points/2; k++ {
+		angle := int64(k) * (3600 / (points / 2)) / 2 // tenth-degrees over half turn
+		tw[2*k] = cosApprox(angle * 102944 / 36000)   // reuse sinApprox phase units
+		tw[2*k+1] = -sinApprox(angle * 102944 / 36000)
+	}
+	p.SetDataSlice(twBase, tw)
+
+	span, stagePts := R(1), R(3)
+	j, k, base := R(4), R(5), R(6)
+	ar, ai, br, bi := R(7), R(8), R(9), R(10)
+	wr, wi, t1, t2 := R(11), R(12), R(13), R(14)
+	addr, addr2, twIdx := R(15), R(16), R(17)
+	round, nRounds, cPts := R(18), R(19), R(20)
+	tr, ti := R(21), R(22)
+
+	b := p.Block("init")
+	b.Li(round, 0)
+	b.Li(nRounds, rounds)
+	b.Li(cPts, points)
+
+	b = p.Block("round")
+	b.Li(span, 1)
+
+	// Stages: span doubles from 1 to points/2.
+	b = p.Block("stage")
+	b.Shli(stagePts, span, 1) // group size
+	b.Li(base, 0)
+
+	b = p.Block("group")
+	b.Li(j, 0)
+	b = p.Block("bfly")
+	// a = (base+j), b = (base+j+span)
+	b.Add(k, base, j)
+	b.Add(addr, k, R(0))
+	b.Add(addr2, k, span)
+	b.Ld(ar, addr, reBase)
+	b.Ld(ai, addr, imBase)
+	b.Ld(br, addr2, reBase)
+	b.Ld(bi, addr2, imBase)
+	// twiddle index: j * (points/2) / span
+	b.Li(t1, points/2)
+	b.Mul(twIdx, j, t1)
+	b.Div(twIdx, twIdx, span)
+	b.Shli(twIdx, twIdx, 1)
+	b.Ld(wr, twIdx, twBase)
+	b.Ld(wi, twIdx, twBase+1)
+	// t = w * b (complex, <<12 fixed point)
+	b.Mul(t1, br, wr)
+	b.Mul(t2, bi, wi)
+	b.Sub(tr, t1, t2)
+	b.Srai(tr, tr, 12)
+	b.Mul(t1, br, wi)
+	b.Mul(t2, bi, wr)
+	b.Add(ti, t1, t2)
+	b.Srai(ti, ti, 12)
+	// butterfly outputs (scaled to avoid overflow growth)
+	b.Add(t1, ar, tr)
+	b.Srai(t1, t1, 1)
+	b.St(t1, addr, reBase)
+	b.Add(t1, ai, ti)
+	b.Srai(t1, t1, 1)
+	b.St(t1, addr, imBase)
+	b.Sub(t1, ar, tr)
+	b.Srai(t1, t1, 1)
+	b.St(t1, addr2, reBase)
+	b.Sub(t1, ai, ti)
+	b.Srai(t1, t1, 1)
+	b.St(t1, addr2, imBase)
+	b.Addi(j, j, 1)
+	b.Blt(j, span, "bfly")
+
+	b = p.Block("group_latch")
+	b.Add(base, base, stagePts)
+	b.Blt(base, cPts, "group")
+
+	b = p.Block("stage_latch")
+	b.Shli(span, span, 1)
+	b.Li(t1, points)
+	b.Blt(span, t1, "stage")
+
+	b = p.Block("round_latch")
+	b.Addi(round, round, 1)
+	b.Blt(round, nRounds, "round")
+
+	b = p.Block("done")
+	b.Ld(t1, R(0), reBase)
+	b.St(t1, R(0), 0)
+	b.Halt()
+	return p
+}
+
+// sinApprox is a crude fixed-point sine used only for synthetic data:
+// phase in arbitrary units, result in [-1024, 1024].
+func sinApprox(phase int64) int64 {
+	p := phase % 4096
+	if p < 0 {
+		p += 4096
+	}
+	// Triangle approximation of sine.
+	switch {
+	case p < 1024:
+		return p
+	case p < 3072:
+		return 2048 - p
+	default:
+		return p - 4096
+	}
+}
+
+func cosApprox(phase int64) int64 { return sinApprox(phase + 1024) }
+
+// Blowfish runs a Feistel cipher with four 256-entry S-boxes and an
+// 18-entry P-array, structurally faithful to MiBench's blowfish: per
+// block sixteen rounds of S-box gathers, adds and xors.
+func Blowfish() *program.Program {
+	const (
+		blocks  = 1100
+		sBase   = 0x100  // 4 * 256 S-box entries
+		pBase   = 0x600  // 18 P entries
+		inBase  = 0x1000 // block pairs (xl, xr)
+		outBase = inBase + 2*blocks
+		mask32  = (1 << 32) - 1
+	)
+	p := program.New("blowfish", outBase+2*blocks+64)
+	r := newRNG(0xB70F)
+	sbox := make([]int64, 4*256)
+	for i := range sbox {
+		sbox[i] = int64(r.next() & mask32)
+	}
+	p.SetDataSlice(sBase, sbox)
+	parr := make([]int64, 18)
+	for i := range parr {
+		parr[i] = int64(r.next() & mask32)
+	}
+	p.SetDataSlice(pBase, parr)
+	data := make([]int64, 2*blocks)
+	for i := range data {
+		data[i] = int64(r.next() & mask32)
+	}
+	p.SetDataSlice(inBase, data)
+
+	blk, nBlk := R(1), R(2)
+	xl, xr, f, t := R(3), R(4), R(5), R(6)
+	a, bb, c, d := R(7), R(8), R(9), R(10)
+	rnd, c16, pv, addr := R(11), R(12), R(13), R(14)
+
+	b := p.Block("init")
+	b.Li(blk, 0)
+	b.Li(nBlk, blocks)
+	b.Li(c16, 16)
+
+	b = p.LoopBlock("block", "block_latch")
+	b.Shli(addr, blk, 1)
+	b.Ld(xl, addr, inBase)
+	b.Ld(xr, addr, inBase+1)
+	b.Li(rnd, 0)
+
+	b = p.LoopBlockN("round", "round", 4)
+	b.Ld(pv, rnd, pBase)
+	b.Xor(xl, xl, pv)
+	b.Andi(xl, xl, mask32)
+	// F(xl) = ((S0[a] + S1[b]) ^ S2[c]) + S3[d]
+	b.Shri(a, xl, 24)
+	b.Andi(a, a, 0xFF)
+	b.Shri(bb, xl, 16)
+	b.Andi(bb, bb, 0xFF)
+	b.Shri(c, xl, 8)
+	b.Andi(c, c, 0xFF)
+	b.Andi(d, xl, 0xFF)
+	b.Ld(f, a, sBase)
+	b.Ld(t, bb, sBase+256)
+	b.Add(f, f, t)
+	b.Ld(t, c, sBase+512)
+	b.Xor(f, f, t)
+	b.Ld(t, d, sBase+768)
+	b.Add(f, f, t)
+	b.Andi(f, f, mask32)
+	b.Xor(xr, xr, f)
+	// swap halves
+	b.Add(t, xl, R(0))
+	b.Add(xl, xr, R(0))
+	b.Add(xr, t, R(0))
+	b.Addi(rnd, rnd, 1)
+	b.Blt(rnd, c16, "round")
+
+	b = p.Block("final")
+	b.Ld(pv, R(0), pBase+16)
+	b.Xor(xr, xr, pv)
+	b.Ld(pv, R(0), pBase+17)
+	b.Xor(xl, xl, pv)
+	b.Andi(xl, xl, mask32)
+	b.Andi(xr, xr, mask32)
+	b.Shli(addr, blk, 1)
+	b.St(xl, addr, outBase)
+	b.St(xr, addr, outBase+1)
+
+	b = p.Block("block_latch")
+	b.Addi(blk, blk, 1)
+	b.Blt(blk, nBlk, "block")
+
+	b = p.Block("done")
+	b.Ld(t, R(0), outBase)
+	b.St(t, R(0), 0)
+	b.Halt()
+	return p
+}

@@ -1,0 +1,232 @@
+package workloads
+
+import (
+	"repro/internal/program"
+)
+
+// Dijkstra builds single-source shortest paths over a dense random
+// graph using the MiBench-style O(V^2) array scan (no priority queue):
+// each step scans for the unvisited minimum-distance node, then relaxes
+// its outgoing edges from an adjacency matrix. The scan and relax loops
+// are dependence-limited (compare chains through loads), which is why
+// the paper finds dijkstra benefits least from superscalar width.
+func Dijkstra() *program.Program {
+	const (
+		nodes    = 96
+		infinity = 1 << 30
+		distBase = 0x100
+		visBase  = distBase + nodes
+		adjBase  = 0x1000
+		sources  = 4 // repeat from several sources for dynamic length
+	)
+	p := program.New("dijkstra", adjBase+nodes*nodes+64)
+
+	r := newRNG(0xD135)
+	adj := make([]int64, nodes*nodes)
+	for i := 0; i < nodes; i++ {
+		for j := 0; j < nodes; j++ {
+			if i == j {
+				adj[i*nodes+j] = 0
+			} else if r.intn(100) < 22 { // sparse-ish dense matrix
+				adj[i*nodes+j] = 1 + r.intn(64)
+			} else {
+				adj[i*nodes+j] = infinity
+			}
+		}
+	}
+	p.SetDataSlice(adjBase, adj)
+
+	src := R(1) // current source node
+	i, j := R(2), R(3)
+	best, bestIdx := R(4), R(5)
+	dv, du := R(6), R(7)
+	tmp, addr := R(8), R(9)
+	nNodes, inf := R(10), R(11)
+	rowPtr := R(12)
+	visited, cand := R(13), R(14)
+	srcEnd, iter := R(15), R(16)
+
+	b := p.Block("init")
+	b.Li(nNodes, nodes)
+	b.Li(inf, infinity)
+	b.Li(src, 0)
+	b.Li(srcEnd, sources)
+
+	// Reset dist[] and visited[] for this source.
+	b = p.Block("reset")
+	b.Li(i, 0)
+	b = p.LoopBlockN("reset_loop", "reset_loop", 4)
+	b.St(inf, i, distBase)
+	b.St(R(0), i, visBase)
+	b.Addi(i, i, 1)
+	b.Blt(i, nNodes, "reset_loop")
+
+	b = p.Block("start")
+	b.St(R(0), src, distBase) // dist[src] = 0
+	b.Li(iter, 0)
+
+	// Outer loop: pick min, relax. nodes iterations.
+	b = p.Block("outer")
+	b.Li(best, infinity)
+	b.Li(bestIdx, -1)
+	b.Li(i, 0)
+
+	// Min-scan over all nodes.
+	b = p.LoopBlock("scan", "scan_latch")
+	b.Ld(visited, i, visBase)
+	b.Bne(visited, R(0), "scan_latch")
+	b.Ld(cand, i, distBase)
+	b.Bge(cand, best, "scan_latch")
+	b.Add(best, cand, R(0))
+	b.Add(bestIdx, i, R(0))
+	b = p.Block("scan_latch")
+	b.Addi(i, i, 1)
+	b.Blt(i, nNodes, "scan")
+
+	b = p.Block("check")
+	b.Blt(bestIdx, R(0), "next_source") // no reachable unvisited node
+	b.Li(tmp, 1)
+	b.St(tmp, bestIdx, visBase) // visited[u] = 1
+	b.Ld(du, bestIdx, distBase)
+	b.Mul(rowPtr, bestIdx, nNodes)
+	b.Addi(rowPtr, rowPtr, adjBase)
+	b.Li(j, 0)
+
+	// Relax all edges out of u.
+	b = p.LoopBlock("relax", "relax_latch")
+	b.Add(addr, rowPtr, j)
+	b.Ld(tmp, addr, 0) // weight(u,j)
+	b.Bge(tmp, inf, "relax_latch")
+	b.Add(cand, du, tmp)
+	b.Ld(dv, j, distBase)
+	b.Bge(cand, dv, "relax_latch")
+	b.St(cand, j, distBase)
+	b = p.Block("relax_latch")
+	b.Addi(j, j, 1)
+	b.Blt(j, nNodes, "relax")
+
+	b = p.Block("outer_latch")
+	b.Addi(iter, iter, 1)
+	b.Blt(iter, nNodes, "outer")
+
+	b = p.Block("next_source")
+	b.Addi(src, src, 1)
+	b.Blt(src, srcEnd, "reset")
+
+	b = p.Block("done")
+	b.Ld(tmp, R(0), distBase+nodes-1)
+	b.St(tmp, R(0), 0)
+	b.Halt()
+	return p
+}
+
+// Patricia builds a bit-trie (PATRICIA-style) over random 32-bit keys:
+// repeated insert and lookup operations chase child pointers bit by
+// bit. Pointer chasing makes loads the critical resource, with short
+// load-use dependency distances — the behaviour the real patricia
+// benchmark exhibits on routing tables.
+func Patricia() *program.Program {
+	const (
+		maxNodes = 5000
+		nodeBase = 0x2000 // node i: [key, left, right] at nodeBase+3i
+		keysBase = 0x100
+		numKeys  = 320
+		lookups  = 3 // lookup passes over the key set
+		keyBits  = 18
+	)
+	p := program.New("patricia", nodeBase+3*maxNodes+64)
+
+	r := newRNG(0x9A7)
+	keys := make([]int64, numKeys)
+	for i := range keys {
+		keys[i] = r.intn(1 << keyBits)
+	}
+	p.SetDataSlice(keysBase, keys)
+
+	nextNode := R(1)
+	key, ki := R(2), R(3)
+	node, child := R(4), R(5)
+	bitPos, bit := R(6), R(7)
+	addr, tmp := R(8), R(9)
+	nKeys, depthMax := R(10), R(11)
+	pass, nPasses := R(12), R(13)
+	nkey := R(14)
+	found := R(15)
+
+	b := p.Block("init")
+	b.Li(nextNode, 1) // node 0 is the root, pre-zeroed
+	b.Li(nKeys, numKeys)
+	b.Li(depthMax, keyBits)
+	b.Li(pass, 0)
+	b.Li(nPasses, lookups)
+	b.Li(ki, 0)
+
+	// --- Insert phase: walk bits from MSB, allocate nodes on demand. ---
+	b = p.LoopBlock("ins", "ins_latch")
+	b.Ld(key, ki, keysBase)
+	b.Li(node, 0)
+	b.Li(bitPos, keyBits-1)
+
+	b = p.Block("ins_walk")
+	b.Shr(bit, key, bitPos)
+	b.Andi(bit, bit, 1)
+	// addr of child slot: nodeBase + 3*node + 1 + bit
+	b.Shli(tmp, node, 1)
+	b.Add(tmp, tmp, node) // tmp = 3*node
+	b.Add(addr, tmp, bit)
+	b.Ld(child, addr, nodeBase+1)
+	b.Bne(child, R(0), "ins_descend")
+	// Allocate a new node.
+	b.Add(child, nextNode, R(0))
+	b.Addi(nextNode, nextNode, 1)
+	b.St(child, addr, nodeBase+1)
+	b = p.Block("ins_descend")
+	b.Add(node, child, R(0))
+	b.Addi(bitPos, bitPos, -1)
+	b.Bge(bitPos, R(0), "ins_walk")
+	// Store the key at the leaf.
+	b.Shli(tmp, node, 1)
+	b.Add(tmp, tmp, node)
+	b.St(key, tmp, nodeBase)
+	b = p.Block("ins_latch")
+	b.Addi(ki, ki, 1)
+	b.Blt(ki, nKeys, "ins")
+
+	// --- Lookup phase: several passes over all keys. ---
+	b = p.Block("lookup_pass")
+	b.Li(ki, 0)
+	b.Li(found, 0)
+	b = p.LoopBlock("lk", "lk_latch")
+	b.Ld(key, ki, keysBase)
+	b.Li(node, 0)
+	b.Li(bitPos, keyBits-1)
+	b = p.Block("lk_walk")
+	b.Shr(bit, key, bitPos)
+	b.Andi(bit, bit, 1)
+	b.Shli(tmp, node, 1)
+	b.Add(tmp, tmp, node)
+	b.Add(addr, tmp, bit)
+	b.Ld(child, addr, nodeBase+1)
+	b.Beq(child, R(0), "lk_latch") // miss (never for inserted keys)
+	b.Add(node, child, R(0))
+	b.Addi(bitPos, bitPos, -1)
+	b.Bge(bitPos, R(0), "lk_walk")
+	b.Shli(tmp, node, 1)
+	b.Add(tmp, tmp, node)
+	b.Ld(nkey, tmp, nodeBase)
+	b.Bne(nkey, key, "lk_latch")
+	b.Addi(found, found, 1)
+	b = p.Block("lk_latch")
+	b.Addi(ki, ki, 1)
+	b.Blt(ki, nKeys, "lk")
+
+	b = p.Block("pass_latch")
+	b.Addi(pass, pass, 1)
+	b.Blt(pass, nPasses, "lookup_pass")
+
+	b = p.Block("done")
+	b.St(found, R(0), 0)
+	b.St(nextNode, R(0), 1)
+	b.Halt()
+	return p
+}

@@ -1,0 +1,204 @@
+package workloads
+
+import (
+	"repro/internal/program"
+)
+
+// Stringsearch builds a Boyer–Moore–Horspool multi-pattern search over
+// a synthetic text corpus: skip-table construction per pattern, then a
+// backwards-comparison scan loop. Load/compare/branch dominated with
+// highly biased (mostly mismatching) branches, like the MiBench
+// original.
+func Stringsearch() *program.Program {
+	const (
+		textLen  = 16000
+		alphabet = 26
+		patterns = 10
+		patLen   = 6
+		textBase = 0x2000
+		patBase  = 0x400 // patterns, patLen words apiece
+		skipBase = 0x100 // 26-entry skip table
+		hitsAddr = 0x10
+	)
+	p := program.New("stringsearch", textBase+textLen+64)
+	r := newRNG(0x57A6)
+	text := make([]int64, textLen)
+	for i := range text {
+		// Zipf-ish letter distribution: low letters more common.
+		v := r.intn(alphabet)
+		if v > 12 && r.intn(3) != 0 {
+			v = r.intn(13)
+		}
+		text[i] = v
+	}
+	// Plant some pattern occurrences so searches sometimes hit.
+	pats := make([]int64, patterns*patLen)
+	for pi := 0; pi < patterns; pi++ {
+		for j := 0; j < patLen; j++ {
+			pats[pi*patLen+j] = r.intn(alphabet)
+		}
+		for occ := 0; occ < 4; occ++ {
+			pos := r.intn(textLen - patLen)
+			copy(text[pos:pos+patLen], pats[pi*patLen:(pi+1)*patLen])
+		}
+	}
+	p.SetDataSlice(textBase, text)
+	p.SetDataSlice(patBase, pats)
+
+	pi, pos, j := R(1), R(2), R(3)
+	tc, pc := R(4), R(5)
+	addr, t := R(6), R(7)
+	patPtr, skip := R(8), R(9)
+	hits := R(10)
+	cPat, cPlen, cAlpha, cEnd := R(11), R(12), R(13), R(14)
+	last := R(15)
+
+	b := p.Block("init")
+	b.Li(pi, 0)
+	b.Li(hits, 0)
+	b.Li(cPat, patterns)
+	b.Li(cPlen, patLen)
+	b.Li(cAlpha, alphabet)
+	b.Li(cEnd, textLen-patLen)
+
+	b = p.Block("pattern")
+	b.Mul(patPtr, pi, cPlen)
+	b.Addi(patPtr, patPtr, patBase)
+
+	// Build the skip table: default patLen, then skip[pat[j]] = patLen-1-j.
+	b.Li(j, 0)
+	b = p.LoopBlockN("skip_init", "skip_init", 2)
+	b.St(cPlen, j, skipBase)
+	b.Addi(j, j, 1)
+	b.Blt(j, cAlpha, "skip_init")
+	b = p.Block("skip_fill")
+	b.Li(j, 0)
+	b = p.LoopBlock("sf", "sf")
+	b.Add(addr, patPtr, j)
+	b.Ld(pc, addr, 0)
+	b.Addi(t, cPlen, -1)
+	b.Sub(t, t, j)
+	b.St(t, pc, skipBase)
+	b.Addi(j, j, 1)
+	b.Addi(t, cPlen, -1)
+	b.Blt(j, t, "sf")
+
+	// Search scan.
+	b = p.Block("search")
+	b.Li(pos, 0)
+	b = p.Block("window")
+	b.Addi(j, cPlen, -1)
+	b = p.Block("cmp")
+	b.Add(addr, pos, j)
+	b.Ld(tc, addr, textBase)
+	b.Add(addr, patPtr, j)
+	b.Ld(pc, addr, 0)
+	b.Bne(tc, pc, "mismatch")
+	b.Addi(j, j, -1)
+	b.Bge(j, R(0), "cmp")
+	b.Addi(hits, hits, 1) // full match
+	b.Addi(pos, pos, 1)
+	b.Jmp("bound")
+	b = p.Block("mismatch")
+	// Horspool shift on the window's last character.
+	b.Addi(t, cPlen, -1)
+	b.Add(addr, pos, t)
+	b.Ld(last, addr, textBase)
+	b.Ld(skip, last, skipBase)
+	b.Add(pos, pos, skip)
+	b = p.Block("bound")
+	b.Blt(pos, cEnd, "window")
+
+	b = p.Block("pat_latch")
+	b.Addi(pi, pi, 1)
+	b.Blt(pi, cPat, "pattern")
+
+	b = p.Block("done")
+	b.St(hits, R(0), hitsAddr)
+	b.Halt()
+	return p
+}
+
+// Rsynth builds a formant speech synthesizer: a glottal source signal
+// driven through a cascade of four second-order resonators (IIR
+// filters). Each resonator's two delayed state values feed
+// multiply-accumulate chains with tight serial dependencies across
+// samples — the low-ILP recursive-filter behaviour of the original.
+func Rsynth() *program.Program {
+	const (
+		samples   = 3800
+		stages    = 4
+		stateBase = 0x100 // per stage: z1, z2
+		coefBase  = 0x140 // per stage: b0, a1, a2 (fixed point <<12)
+		outBase   = 0x1000
+	)
+	p := program.New("rsynth", outBase+samples+64)
+	// Resonator coefficients for four formants (stable fixed-point).
+	coefs := []int64{
+		3277, 6881, -3113, // F1
+		2458, 5734, -2867, // F2
+		1638, 4915, -2458, // F3
+		1229, 4096, -2048, // F4
+	}
+	p.SetDataSlice(coefBase, coefs)
+
+	i, n := R(1), R(2)
+	src, y := R(3), R(4)
+	z1, z2 := R(5), R(6)
+	b0, a1, a2 := R(7), R(8), R(9)
+	t, t2, addr := R(10), R(11), R(12)
+	stage, cStages := R(13), R(14)
+	phase, period := R(15), R(16)
+
+	b := p.Block("init")
+	b.Li(i, 0)
+	b.Li(n, samples)
+	b.Li(cStages, stages)
+	b.Li(phase, 0)
+	b.Li(period, 80)
+
+	b = p.LoopBlock("sample", "sample_latch")
+	// Glottal source: sawtooth pulse train with a soft decay.
+	b.Addi(phase, phase, 1)
+	b.Blt(phase, period, "source")
+	b.Li(phase, 0)
+	b = p.Block("source")
+	b.Li(t, 4096)
+	b.Sub(src, t, phase)
+	b.Shli(src, src, 2)
+	b.Li(stage, 0)
+
+	// Cascade of resonators: y = (b0*x + a1*z1 + a2*z2) >> 12.
+	b = p.LoopBlockN("resonate", "resonate", 4)
+	b.Shli(addr, stage, 1)
+	b.Ld(z1, addr, stateBase)
+	b.Ld(z2, addr, stateBase+1)
+	b.Shli(t2, stage, 1)
+	b.Add(t2, t2, stage) // 3*stage
+	b.Ld(b0, t2, coefBase)
+	b.Ld(a1, t2, coefBase+1)
+	b.Ld(a2, t2, coefBase+2)
+	b.Mul(y, src, b0)
+	b.Mul(t, z1, a1)
+	b.Add(y, y, t)
+	b.Mul(t, z2, a2)
+	b.Add(y, y, t)
+	b.Srai(y, y, 12)
+	b.St(z1, addr, stateBase+1) // z2 = z1
+	b.St(y, addr, stateBase)    // z1 = y
+	b.Add(src, y, R(0))         // feed the next stage
+	b.Addi(stage, stage, 1)
+	b.Blt(stage, cStages, "resonate")
+
+	b = p.Block("emit")
+	b.St(y, i, outBase)
+	b = p.Block("sample_latch")
+	b.Addi(i, i, 1)
+	b.Blt(i, n, "sample")
+
+	b = p.Block("done")
+	b.Ld(t, R(0), outBase)
+	b.St(t, R(0), 0)
+	b.Halt()
+	return p
+}

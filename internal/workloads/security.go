@@ -1,0 +1,190 @@
+package workloads
+
+import (
+	"repro/internal/program"
+)
+
+// Sha builds a SHA-1-style hash over a synthetic message. As in real
+// SHA-1 implementations, the 80 rounds per block are split into a
+// message-load loop and four 20-round loops (one per round function),
+// each with a straight-line single-block body — the structure that
+// makes sha the paper's high-ILP, width-loving benchmark and lets the
+// compiler passes schedule and unroll it.
+func Sha() *program.Program {
+	const (
+		numBlocks = 64
+		msgBase   = 0x1000
+		ringBase  = 0x10
+		wordMask  = (1 << 32) - 1
+	)
+	p := program.New("sha", msgBase+numBlocks*16+64)
+
+	r := newRNG(0x5AA5)
+	msg := make([]int64, numBlocks*16)
+	for i := range msg {
+		msg[i] = int64(r.next() & wordMask)
+	}
+	p.SetDataSlice(msgBase, msg)
+
+	// Register plan.
+	h0, h1, h2, h3, h4 := R(1), R(2), R(3), R(4), R(5)
+	ra, rb, rc, rd, re := R(6), R(7), R(8), R(9), R(10)
+	w, f := R(11), R(12)
+	t1, t2, t3 := R(14), R(15), R(16)
+	tcnt := R(17)   // round counter t
+	blk := R(18)    // current block base pointer (words)
+	blkEnd := R(19) // message end
+	idx, tmp := R(20), R(21)
+	bound := R(22)
+	kc := R(23) // round constant register
+
+	b := p.Block("init")
+	b.Li(h0, 0x67452301)
+	b.Li(h1, 0xEFCDAB89)
+	b.Li(h2, 0x98BADCFE)
+	b.Li(h3, 0x10325476)
+	b.Li(h4, 0xC3D2E1F0)
+	b.Li(blk, msgBase)
+	b.Li(blkEnd, msgBase+numBlocks*16)
+
+	b = p.Block("block")
+	b.Add(ra, h0, R(0))
+	b.Add(rb, h1, R(0))
+	b.Add(rc, h2, R(0))
+	b.Add(rd, h3, R(0))
+	b.Add(re, h4, R(0))
+
+	// emitMix appends the SHA-1 state rotation for one round, assuming
+	// f and w are computed and kc holds the round constant.
+	emitMix := func(b *program.Builder) {
+		emitRotl(b, t3, ra, 5, 32, t1, t2)
+		b.Add(t3, t3, f)
+		b.Add(t3, t3, re)
+		b.Add(t3, t3, kc)
+		b.Add(t3, t3, w)
+		b.Andi(t3, t3, wordMask)
+		b.Add(re, rd, R(0))
+		b.Add(rd, rc, R(0))
+		emitRotl(b, rc, rb, 30, 32, t1, t2)
+		b.Add(rb, ra, R(0))
+		b.Add(ra, t3, R(0))
+	}
+	// emitSchedule appends the message-schedule update:
+	// w = rotl1(ring[(t-3)&15] ^ ring[(t-8)&15] ^ ring[(t-14)&15] ^ ring[t&15]).
+	emitSchedule := func(b *program.Builder) {
+		b.Addi(idx, tcnt, -3)
+		b.Andi(idx, idx, 15)
+		b.Ld(w, idx, ringBase)
+		b.Addi(idx, tcnt, -8)
+		b.Andi(idx, idx, 15)
+		b.Ld(tmp, idx, ringBase)
+		b.Xor(w, w, tmp)
+		b.Addi(idx, tcnt, -14)
+		b.Andi(idx, idx, 15)
+		b.Ld(tmp, idx, ringBase)
+		b.Xor(w, w, tmp)
+		b.Andi(idx, tcnt, 15)
+		b.Ld(tmp, idx, ringBase)
+		b.Xor(w, w, tmp)
+		emitRotl(b, w, w, 1, 32, t1, t2)
+		b.Andi(idx, tcnt, 15)
+		b.St(w, idx, ringBase)
+	}
+	emitCh := func(b *program.Builder) { // f = (b&c) | (~b&d)
+		b.And(t1, rb, rc)
+		b.Xori(t2, rb, wordMask)
+		b.And(t2, t2, rd)
+		b.Or(f, t1, t2)
+	}
+	emitParity := func(b *program.Builder) {
+		b.Xor(f, rb, rc)
+		b.Xor(f, f, rd)
+	}
+	emitMaj := func(b *program.Builder) { // f = (b&c) | (b&d) | (c&d)
+		b.And(t1, rb, rc)
+		b.And(t2, rb, rd)
+		b.Or(t1, t1, t2)
+		b.And(t2, rc, rd)
+		b.Or(f, t1, t2)
+	}
+
+	// Rounds 0..15: w straight from the message block.
+	b.Li(tcnt, 0)
+	b.Li(bound, 16)
+	b.Li(kc, 0x5A827999)
+	b = p.LoopBlockN("r0_15", "r0_15", 4)
+	b.Add(idx, blk, tcnt)
+	b.Ld(w, idx, 0)
+	b.Andi(tmp, tcnt, 15)
+	b.St(w, tmp, ringBase)
+	emitCh(b)
+	emitMix(b)
+	b.Addi(tcnt, tcnt, 1)
+	b.Blt(tcnt, bound, "r0_15")
+
+	// Rounds 16..19: schedule + ch.
+	b = p.Block("r16_pre")
+	b.Li(bound, 20)
+	b = p.LoopBlockN("r16_19", "r16_19", 4)
+	emitSchedule(b)
+	emitCh(b)
+	emitMix(b)
+	b.Addi(tcnt, tcnt, 1)
+	b.Blt(tcnt, bound, "r16_19")
+
+	// Rounds 20..39: parity.
+	b = p.Block("r20_pre")
+	b.Li(bound, 40)
+	b.Li(kc, 0x6ED9EBA1)
+	b = p.LoopBlockN("r20_39", "r20_39", 4)
+	emitSchedule(b)
+	emitParity(b)
+	emitMix(b)
+	b.Addi(tcnt, tcnt, 1)
+	b.Blt(tcnt, bound, "r20_39")
+
+	// Rounds 40..59: majority.
+	b = p.Block("r40_pre")
+	b.Li(bound, 60)
+	b.Li(kc, 0x8F1BBCDC)
+	b = p.LoopBlockN("r40_59", "r40_59", 4)
+	emitSchedule(b)
+	emitMaj(b)
+	emitMix(b)
+	b.Addi(tcnt, tcnt, 1)
+	b.Blt(tcnt, bound, "r40_59")
+
+	// Rounds 60..79: parity.
+	b = p.Block("r60_pre")
+	b.Li(bound, 80)
+	b.Li(kc, 0xCA62C1D6)
+	b = p.LoopBlockN("r60_79", "r60_79", 4)
+	emitSchedule(b)
+	emitParity(b)
+	emitMix(b)
+	b.Addi(tcnt, tcnt, 1)
+	b.Blt(tcnt, bound, "r60_79")
+
+	b = p.Block("block_end")
+	b.Add(h0, h0, ra)
+	b.Andi(h0, h0, wordMask)
+	b.Add(h1, h1, rb)
+	b.Andi(h1, h1, wordMask)
+	b.Add(h2, h2, rc)
+	b.Andi(h2, h2, wordMask)
+	b.Add(h3, h3, rd)
+	b.Andi(h3, h3, wordMask)
+	b.Add(h4, h4, re)
+	b.Andi(h4, h4, wordMask)
+	b.Addi(blk, blk, 16)
+	b.Blt(blk, blkEnd, "block")
+
+	b = p.Block("done")
+	b.St(h0, R(0), 0)
+	b.St(h1, R(0), 1)
+	b.St(h2, R(0), 2)
+	b.St(h3, R(0), 3)
+	b.St(h4, R(0), 4)
+	b.Halt()
+	return p
+}

@@ -1,0 +1,338 @@
+package workloads
+
+import (
+	"repro/internal/program"
+)
+
+// adpcmStepTable is the IMA ADPCM step-size table (89 entries).
+func adpcmStepTable() []int64 {
+	return []int64{
+		7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+		19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+		50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+		130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+		337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+		876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+		2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+		5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+		15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+	}
+}
+
+// adpcmIndexTable is the IMA index-adjustment table (8 entries).
+func adpcmIndexTable() []int64 {
+	return []int64{-1, -1, -1, -1, 2, 4, 6, 8}
+}
+
+// adpcmWave synthesizes the input waveform: a chirpy triangle plus
+// deterministic noise, resembling speech envelopes.
+func adpcmWave(n int, seed uint64) []int64 {
+	r := newRNG(seed)
+	out := make([]int64, n)
+	v, dir := int64(0), int64(37)
+	for i := range out {
+		v += dir
+		if v > 8000 || v < -8000 {
+			dir = -dir
+			// vary the slope so branches are not perfectly periodic
+			if r.intn(2) == 0 {
+				dir += r.intn(23) - 11
+				if dir == 0 {
+					dir = 17
+				}
+			}
+		}
+		out[i] = v + r.intn(257) - 128
+	}
+	return out
+}
+
+// AdpcmC builds an IMA-ADPCM speech encoder: per sample, a sign/delta
+// quantization with data-dependent branches, table-driven step updates
+// and clamping — the classic branchy telecom kernel.
+func AdpcmC() *program.Program {
+	const (
+		samples  = 9000
+		stepBase = 0x100
+		idxBase  = 0x1C0
+		inBase   = 0x1000
+		outBase  = inBase + samples
+	)
+	p := program.New("adpcm_c", outBase+samples+64)
+	p.SetDataSlice(stepBase, adpcmStepTable())
+	p.SetDataSlice(idxBase, adpcmIndexTable())
+	p.SetDataSlice(inBase, adpcmWave(samples, 0xADC1))
+
+	i, n := R(1), R(2)
+	sample, valpred, index, step := R(3), R(4), R(5), R(6)
+	diff, delta, vpdiff, sign := R(7), R(8), R(9), R(10)
+	t, t2 := R(11), R(12)
+	cMaxIdx, cMaxVal, cMinVal := R(13), R(14), R(15)
+
+	b := p.Block("init")
+	b.Li(i, 0)
+	b.Li(n, samples)
+	b.Li(valpred, 0)
+	b.Li(index, 0)
+	b.Li(cMaxIdx, 88)
+	b.Li(cMaxVal, 32767)
+	b.Li(cMinVal, -32768)
+
+	b = p.LoopBlock("enc", "enc_latch")
+	b.Ld(sample, i, inBase)
+	b.Ld(step, index, stepBase)
+	b.Sub(diff, sample, valpred)
+	// sign and |diff|
+	b.Li(sign, 0)
+	b.Bge(diff, R(0), "enc_quant")
+	b.Li(sign, 8)
+	b.Sub(diff, R(0), diff)
+	b = p.Block("enc_quant")
+	// delta = min(7, |diff|*4/step), vpdiff = (delta+0.5)*step/4 computed
+	// incrementally as the reference coder does.
+	b.Li(delta, 0)
+	b.Shri(vpdiff, step, 3)
+	b.Blt(diff, step, "enc_q2")
+	b.Ori(delta, delta, 4)
+	b.Sub(diff, diff, step)
+	b.Add(vpdiff, vpdiff, step)
+	b = p.Block("enc_q2")
+	b.Shri(step, step, 1)
+	b.Blt(diff, step, "enc_q3")
+	b.Ori(delta, delta, 2)
+	b.Sub(diff, diff, step)
+	b.Add(vpdiff, vpdiff, step)
+	b = p.Block("enc_q3")
+	b.Shri(step, step, 1)
+	b.Blt(diff, step, "enc_sign")
+	b.Ori(delta, delta, 1)
+	b.Add(vpdiff, vpdiff, step)
+	b = p.Block("enc_sign")
+	b.Beq(sign, R(0), "enc_add")
+	b.Sub(valpred, valpred, vpdiff)
+	b.Jmp("enc_clamp")
+	b = p.Block("enc_add")
+	b.Add(valpred, valpred, vpdiff)
+	b = p.Block("enc_clamp")
+	b.Blt(valpred, cMaxVal, "enc_clamp2")
+	b.Add(valpred, cMaxVal, R(0))
+	b = p.Block("enc_clamp2")
+	b.Bge(valpred, cMinVal, "enc_index")
+	b.Add(valpred, cMinVal, R(0))
+	b = p.Block("enc_index")
+	b.Ld(t, delta, idxBase)
+	b.Add(index, index, t)
+	b.Bge(index, R(0), "enc_idx2")
+	b.Li(index, 0)
+	b = p.Block("enc_idx2")
+	b.Blt(index, cMaxIdx, "enc_out")
+	b.Addi(index, cMaxIdx, -1)
+	b = p.Block("enc_out")
+	b.Or(t2, delta, sign)
+	b.St(t2, i, outBase)
+	b = p.Block("enc_latch")
+	b.Addi(i, i, 1)
+	b.Blt(i, n, "enc")
+
+	b = p.Block("done")
+	b.St(valpred, R(0), 0)
+	b.Halt()
+	return p
+}
+
+// AdpcmD builds the matching IMA-ADPCM decoder.
+func AdpcmD() *program.Program {
+	const (
+		samples  = 10000
+		stepBase = 0x100
+		idxBase  = 0x1C0
+		inBase   = 0x1000
+		outBase  = inBase + samples
+	)
+	p := program.New("adpcm_d", outBase+samples+64)
+	p.SetDataSlice(stepBase, adpcmStepTable())
+	p.SetDataSlice(idxBase, adpcmIndexTable())
+	// Input: coded 4-bit deltas from a deterministic pattern mimicking
+	// encoded speech (biased toward small magnitudes).
+	r := newRNG(0xADD2)
+	in := make([]int64, samples)
+	for i := range in {
+		m := r.intn(16)
+		if m >= 8 && r.intn(3) != 0 {
+			m -= 8 // bias to small positive deltas
+		}
+		in[i] = m
+	}
+	p.SetDataSlice(inBase, in)
+
+	i, n := R(1), R(2)
+	code, valpred, index, step := R(3), R(4), R(5), R(6)
+	delta, vpdiff, sign := R(7), R(8), R(9)
+	t := R(10)
+	cMaxIdx, cMaxVal, cMinVal := R(11), R(12), R(13)
+
+	b := p.Block("init")
+	b.Li(i, 0)
+	b.Li(n, samples)
+	b.Li(valpred, 0)
+	b.Li(index, 0)
+	b.Li(cMaxIdx, 88)
+	b.Li(cMaxVal, 32767)
+	b.Li(cMinVal, -32768)
+
+	b = p.LoopBlock("dec", "dec_latch")
+	b.Ld(code, i, inBase)
+	b.Ld(step, index, stepBase)
+	// index update first, as the reference decoder does
+	b.Andi(t, code, 7)
+	b.Ld(t, t, idxBase)
+	b.Add(index, index, t)
+	b.Bge(index, R(0), "dec_idx2")
+	b.Li(index, 0)
+	b = p.Block("dec_idx2")
+	b.Blt(index, cMaxIdx, "dec_vp")
+	b.Addi(index, cMaxIdx, -1)
+	b = p.Block("dec_vp")
+	b.Andi(sign, code, 8)
+	b.Andi(delta, code, 7)
+	// vpdiff = step>>3 + (delta&4 ? step : 0) + (delta&2 ? step>>1 : 0)
+	//        + (delta&1 ? step>>2 : 0)
+	b.Shri(vpdiff, step, 3)
+	b.Andi(t, delta, 4)
+	b.Beq(t, R(0), "dec_b2")
+	b.Add(vpdiff, vpdiff, step)
+	b = p.Block("dec_b2")
+	b.Andi(t, delta, 2)
+	b.Beq(t, R(0), "dec_b1")
+	b.Shri(t, step, 1)
+	b.Add(vpdiff, vpdiff, t)
+	b = p.Block("dec_b1")
+	b.Andi(t, delta, 1)
+	b.Beq(t, R(0), "dec_sign")
+	b.Shri(t, step, 2)
+	b.Add(vpdiff, vpdiff, t)
+	b = p.Block("dec_sign")
+	b.Beq(sign, R(0), "dec_add")
+	b.Sub(valpred, valpred, vpdiff)
+	b.Jmp("dec_clamp")
+	b = p.Block("dec_add")
+	b.Add(valpred, valpred, vpdiff)
+	b = p.Block("dec_clamp")
+	b.Blt(valpred, cMaxVal, "dec_clamp2")
+	b.Add(valpred, cMaxVal, R(0))
+	b = p.Block("dec_clamp2")
+	b.Bge(valpred, cMinVal, "dec_out")
+	b.Add(valpred, cMinVal, R(0))
+	b = p.Block("dec_out")
+	b.St(valpred, i, outBase)
+	b = p.Block("dec_latch")
+	b.Addi(i, i, 1)
+	b.Blt(i, n, "dec")
+
+	b = p.Block("done")
+	b.St(valpred, R(0), 0)
+	b.Halt()
+	return p
+}
+
+// GsmC builds the GSM encoder's front end: offset compensation and
+// preemphasis filtering over each frame followed by the LPC
+// autocorrelation (nine lags of multiply-accumulate over 160 samples).
+// Multiply-dominated with serial accumulator chains.
+func GsmC() *program.Program {
+	const (
+		frames   = 11
+		frameLen = 160
+		lags     = 9
+		inBase   = 0x1000
+		workBase = 0x400
+		acfBase  = 0x100
+		nSamples = frames * frameLen
+	)
+	p := program.New("gsm_c", inBase+nSamples+64)
+	p.SetDataSlice(inBase, adpcmWave(nSamples, 0x65C3))
+
+	f, i, k := R(1), R(2), R(3)
+	s, prev, t, t2 := R(4), R(5), R(6), R(7)
+	acc, addr := R(8), R(9)
+	framePtr := R(10)
+	cFrames, cLen, cLags := R(11), R(12), R(13)
+	lim, v1, v2 := R(14), R(15), R(16)
+
+	b := p.Block("init")
+	b.Li(f, 0)
+	b.Li(cFrames, frames)
+	b.Li(cLen, frameLen)
+	b.Li(cLags, lags)
+
+	b = p.Block("frame")
+	b.Mul(framePtr, f, cLen)
+	b.Addi(framePtr, framePtr, inBase)
+	b.Li(prev, 0)
+	b.Li(i, 0)
+
+	// Offset compensation + preemphasis: w[i] = s[i] - 0.86*s[i-1]
+	// (fixed point: s[i] - (s[i-1]*28180 >> 15)).
+	b = p.LoopBlockN("pre", "pre", 4)
+	b.Add(addr, framePtr, i)
+	b.Ld(s, addr, 0)
+	b.Li(t, 28180)
+	b.Mul(t2, prev, t)
+	b.Srai(t2, t2, 15)
+	b.Sub(t, s, t2)
+	b.St(t, i, workBase)
+	b.Add(prev, s, R(0))
+	b.Addi(i, i, 1)
+	b.Blt(i, cLen, "pre")
+
+	// Scale check (saturation guard, branchy as in the reference).
+	b = p.Block("scale")
+	b.Li(lim, 16384)
+	b.Li(i, 0)
+	b = p.LoopBlock("sc", "sc_latch")
+	b.Ld(t, i, workBase)
+	b.Bge(t, R(0), "sc_pos")
+	b.Sub(t, R(0), t)
+	b = p.Block("sc_pos")
+	b.Blt(t, lim, "sc_latch")
+	// Halve the frame on overflow (rare with our input).
+	b.Ld(t2, i, workBase)
+	b.Srai(t2, t2, 1)
+	b.St(t2, i, workBase)
+	b = p.Block("sc_latch")
+	b.Addi(i, i, 1)
+	b.Blt(i, cLen, "sc")
+
+	// Autocorrelation over a fixed 152-sample window (zero-risk-free
+	// fixed trip count, a multiple of 4, so the unroller can fire):
+	// acf[k] = sum_{i<152} w[i]*w[i+k], k = 0..8.
+	b = p.Block("acf")
+	b.Li(k, 0)
+	b = p.Block("acf_lag")
+	b.Li(acc, 0)
+	b.Li(lim, 152)
+	b.Li(i, 0)
+	b = p.LoopBlockN("acf_mac", "acf_mac", 4)
+	b.Ld(v1, i, workBase)
+	b.Add(addr, i, k)
+	b.Ld(v2, addr, workBase)
+	b.Mul(t, v1, v2)
+	b.Srai(t, t, 4)
+	b.Add(acc, acc, t)
+	b.Addi(i, i, 1)
+	b.Blt(i, lim, "acf_mac")
+	b = p.Block("acf_store")
+	b.St(acc, k, acfBase)
+	b.Addi(k, k, 1)
+	b.Blt(k, cLags, "acf_lag")
+
+	b = p.Block("frame_latch")
+	b.Addi(f, f, 1)
+	b.Blt(f, cFrames, "frame")
+
+	b = p.Block("done")
+	b.Ld(t, R(0), acfBase)
+	b.St(t, R(0), 0)
+	b.Halt()
+	return p
+}
