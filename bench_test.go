@@ -214,6 +214,21 @@ func BenchmarkMachineStats(b *testing.B) {
 	b.SetBytes(int64(len(pw.Trace)))
 }
 
+// BenchmarkMultiMachineStats measures the single-pass collection of
+// machine statistics for all 16 Table 2 (L2, predictor) combinations —
+// the replacement for 16 per-configuration replays.
+func BenchmarkMultiMachineStats(b *testing.B) {
+	pw := profiledFor(b, "gsm_c")
+	space := dse.Space(uarch.Default())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.CollectMultiStats(pw.Trace, space); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(pw.Trace)))
+}
+
 // BenchmarkDetailedSimulation measures one cycle-accurate run — what
 // every design point costs without the model.
 func BenchmarkDetailedSimulation(b *testing.B) {
@@ -229,7 +244,8 @@ func BenchmarkDetailedSimulation(b *testing.B) {
 }
 
 // BenchmarkModelDesignSpace measures the model across all 192 points
-// (including the 16 shared statistics replays).
+// (machine statistics for the whole space come from a single trace
+// replay).
 func BenchmarkModelDesignSpace(b *testing.B) {
 	pw := profiledFor(b, "gsm_c")
 	space := dse.Space(uarch.Default())
@@ -237,6 +253,21 @@ func BenchmarkModelDesignSpace(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := dse.Explore(pw, space, pm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExploreValidatedFull measures the expensive path the model
+// exists to avoid: the full 192-point space with detailed simulation
+// at every point.
+func BenchmarkExploreValidatedFull(b *testing.B) {
+	pw := profiledFor(b, "gsm_c")
+	space := dse.Space(uarch.Default())
+	pm := power.NewModel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dse.ExploreValidated(pw, space, pm, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -17,14 +17,18 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/par"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	exp := flag.String("exp", "all", "experiment to run: table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|all")
-	workers := flag.Int("workers", 0, "parallel detailed simulations (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "worker goroutines for parallel loops: benchmark fan-out and detailed simulations (0 = GOMAXPROCS)")
 	flag.Parse()
+	// Every parallel loop in the experiments (benchmark fan-out, design
+	// space validation) draws its default pool size from here.
+	par.SetDefault(*workers)
 
 	runOne := func(name string) {
 		t0 := time.Now()

@@ -1,23 +1,28 @@
-// Command inorder-model profiles one benchmark and predicts its
-// performance on a chosen superscalar in-order design point, printing
-// the CPI stack (and, with -validate, the detailed-simulation
-// reference).
+// Command inorder-model profiles one or more benchmarks and predicts
+// their performance on a chosen superscalar in-order design point,
+// printing the CPI stack (and, with -validate, the detailed-simulation
+// reference). Multiple benchmarks run in parallel across -workers
+// goroutines.
 //
 // Usage:
 //
 //	inorder-model -bench sha
 //	inorder-model -bench dijkstra -width 2 -stages 5 -l2kb 256 -pred hybrid -validate
+//	inorder-model -bench sha,dijkstra,gsm_c -validate -workers 4
 //	inorder-model -list
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/par"
 	"repro/internal/pipeline"
 	"repro/internal/uarch"
 	"repro/internal/workloads"
@@ -27,16 +32,18 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("inorder-model: ")
 	var (
-		bench    = flag.String("bench", "sha", "benchmark name (see -list)")
+		bench    = flag.String("bench", "sha", "benchmark name, or comma-separated list (see -list)")
 		width    = flag.Int("width", 4, "pipeline width W (1..4)")
 		stages   = flag.Int("stages", 9, "total pipeline stages (5, 7 or 9; sets frequency)")
 		l2kb     = flag.Int("l2kb", 512, "L2 size in KB (128, 256, 512, 1024)")
 		l2ways   = flag.Int("l2ways", 8, "L2 associativity (8 or 16)")
 		predName = flag.String("pred", "gshare", "branch predictor: gshare or hybrid")
 		validate = flag.Bool("validate", false, "also run the detailed cycle-accurate simulator")
+		workers  = flag.Int("workers", 0, "worker goroutines for multi-benchmark runs (0 = GOMAXPROCS)")
 		list     = flag.Bool("list", false, "list benchmarks and exit")
 	)
 	flag.Parse()
+	par.SetDefault(*workers)
 
 	if *list {
 		for _, s := range workloads.All() {
@@ -45,10 +52,6 @@ func main() {
 		return
 	}
 
-	spec, err := workloads.ByName(*bench)
-	if err != nil {
-		log.Fatal(err)
-	}
 	cfg := uarch.Default()
 	found := false
 	for _, df := range uarch.DepthFreqPoints() {
@@ -73,36 +76,73 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("profiling %s ...\n", spec.Name)
-	pw, err := harness.ProfileProgram(spec.Build())
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("%s\n", pw.Prof)
-
-	st, err := pw.Predict(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\ndesign point: %s\n", cfg)
-	fmt.Printf("predicted cycles: %.0f  CPI: %.4f\n", st.Total(), st.CPI())
-	fmt.Println("CPI stack:")
-	for c := core.Component(0); c < core.NumComponents; c++ {
-		if st.Cycles[c] != 0 {
-			fmt.Printf("  %-12s %8.4f\n", c.String(), st.CPIOf(c))
-		}
-	}
-
-	if *validate {
-		sim, err := pipeline.Simulate(pw.Trace, cfg)
+	names := strings.Split(*bench, ",")
+	specs := make([]workloads.Spec, len(names))
+	for i, name := range names {
+		spec, err := workloads.ByName(strings.TrimSpace(name))
 		if err != nil {
 			log.Fatal(err)
 		}
-		errPct := 100 * abs(st.CPI()-sim.CPI()) / sim.CPI()
-		fmt.Printf("\ndetailed simulation: cycles=%d CPI=%.4f  (model error %.2f%%)\n",
-			sim.Cycles, sim.CPI(), errPct)
+		specs[i] = spec
+	}
+
+	if len(specs) == 1 {
+		// Single benchmark: stream directly so "profiling ..." shows
+		// progress before the (potentially long) run completes.
+		if err := report(os.Stdout, specs[0], cfg, *validate); err != nil {
+			log.Fatal(err)
+		}
+		_ = os.Stdout.Sync()
+		return
+	}
+	reports := make([]strings.Builder, len(specs))
+	err := par.ForEach(*workers, len(specs), func(i int) error {
+		if err := report(&reports[i], specs[i], cfg, *validate); err != nil {
+			return fmt.Errorf("%s: %w", specs[i].Name, err)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range reports {
+		fmt.Print(reports[i].String())
 	}
 	_ = os.Stdout.Sync()
+}
+
+func report(w io.Writer, spec workloads.Spec, cfg uarch.Config, validate bool) error {
+	fmt.Fprintf(w, "profiling %s ...\n", spec.Name)
+	pw, err := harness.ProfileProgram(spec.Build())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s\n", pw.Prof)
+
+	st, err := pw.Predict(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\ndesign point: %s\n", cfg)
+	fmt.Fprintf(w, "predicted cycles: %.0f  CPI: %.4f\n", st.Total(), st.CPI())
+	fmt.Fprintf(w, "CPI stack:\n")
+	for c := core.Component(0); c < core.NumComponents; c++ {
+		if st.Cycles[c] != 0 {
+			fmt.Fprintf(w, "  %-12s %8.4f\n", c.String(), st.CPIOf(c))
+		}
+	}
+
+	if validate {
+		sim, err := pipeline.Simulate(pw.Trace, cfg)
+		if err != nil {
+			return err
+		}
+		errPct := 100 * abs(st.CPI()-sim.CPI()) / sim.CPI()
+		fmt.Fprintf(w, "\ndetailed simulation: cycles=%d CPI=%.4f  (model error %.2f%%)\n",
+			sim.Cycles, sim.CPI(), errPct)
+	}
+	fmt.Fprintln(w)
+	return nil
 }
 
 func abs(x float64) float64 {

@@ -72,6 +72,18 @@ type Hierarchy struct {
 	DTLB *TLB
 
 	S Stats
+
+	// Same-block fast path: a re-access to the most recent block is a
+	// pure counter bump when that access hit everywhere, because
+	// re-touching the MRU line of a set and the MRU page of a TLB
+	// leaves all replacement state exactly as it was. Valid only while
+	// blocks are no larger than pages (warmOK).
+	warmOK   bool
+	iWarm    bool  // last I-access hit L1 and ITLB
+	lastITag int64 // last I-access block address
+	dWarm    bool  // last D-access hit DL1 and DTLB
+	dDirty   bool  // ... and left the block dirty
+	lastDTag int64 // last D-access block address
 }
 
 // NewHierarchy builds the hierarchy.
@@ -80,14 +92,19 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 		return nil, err
 	}
 	h := &Hierarchy{Cfg: cfg}
+	// One backing array for all three caches' lines: a hierarchy is
+	// built per detailed simulation, so allocation count matters.
+	backing := make([]line, lineCount(cfg.IL1)+lineCount(cfg.DL1)+lineCount(cfg.L2))
 	var err error
-	if h.IL1c, err = New(cfg.IL1); err != nil {
+	if h.IL1c, err = newWithBacking(cfg.IL1, backing); err != nil {
 		return nil, err
 	}
-	if h.DL1c, err = New(cfg.DL1); err != nil {
+	backing = backing[lineCount(cfg.IL1):]
+	if h.DL1c, err = newWithBacking(cfg.DL1, backing); err != nil {
 		return nil, err
 	}
-	if h.L2c, err = New(cfg.L2); err != nil {
+	backing = backing[lineCount(cfg.DL1):]
+	if h.L2c, err = newWithBacking(cfg.L2, backing); err != nil {
 		return nil, err
 	}
 	if h.ITLB, err = NewTLB(cfg.ITLBEntries, cfg.PageBytes); err != nil {
@@ -96,6 +113,7 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 	if h.DTLB, err = NewTLB(cfg.DTLBEntries, cfg.PageBytes); err != nil {
 		return nil, err
 	}
+	h.warmOK = cfg.IL1.BlockBytes <= cfg.PageBytes && cfg.DL1.BlockBytes <= cfg.PageBytes
 	return h, nil
 }
 
@@ -108,9 +126,42 @@ func MustNewHierarchy(cfg HierarchyConfig) *Hierarchy {
 	return h
 }
 
+// AccessIWarm is the inlinable same-block fast path of AccessI: if the
+// fetch of pc touches the block of the previous all-hit I-access, no
+// replacement state can change, so only the counters are bumped and
+// the access is a guaranteed L1+TLB hit. It reports false when the
+// caller must take the full AccessI path.
+func (h *Hierarchy) AccessIWarm(pc int64) bool {
+	if !h.iWarm || (pc*InstrBytes)>>h.IL1c.blkShift != h.lastITag {
+		return false
+	}
+	h.S.IL1Accesses++
+	h.IL1c.Accesses++
+	h.ITLB.Accesses++
+	return true
+}
+
+// IWarmHit reports whether fetching pc repeats the last all-hit
+// I-access block: a guaranteed L1+TLB hit that changes no state. A
+// caller on a hot loop batches such fetches and accounts them at the
+// end with CreditIWarm(count) instead of bumping counters per fetch.
+func (h *Hierarchy) IWarmHit(pc int64) bool {
+	return h.iWarm && (pc*InstrBytes)>>h.IL1c.blkShift == h.lastITag
+}
+
+// CreditIWarm accounts n batched warm I-fetches (see IWarmHit).
+func (h *Hierarchy) CreditIWarm(n int64) {
+	h.S.IL1Accesses += n
+	h.IL1c.Accesses += n
+	h.ITLB.Accesses += n
+}
+
 // AccessI performs an instruction fetch of the instruction at static
 // index pc.
 func (h *Hierarchy) AccessI(pc int64) Result {
+	if h.AccessIWarm(pc) {
+		return Result{L1Hit: true, TLBHit: true}
+	}
 	byteAddr := pc * InstrBytes
 	var r Result
 	r.TLBHit = h.ITLB.Access(byteAddr)
@@ -131,11 +182,29 @@ func (h *Hierarchy) AccessI(pc int64) Result {
 			h.S.IL2Misses++
 		}
 	}
+	h.lastITag = byteAddr >> h.IL1c.blkShift
+	h.iWarm = h.warmOK && r.L1Hit && r.TLBHit
 	return r
+}
+
+// AccessDWarm is AccessIWarm's data-side counterpart. A write
+// additionally requires the block to already be dirty, otherwise the
+// full path must set its dirty bit.
+func (h *Hierarchy) AccessDWarm(addr int64, write bool) bool {
+	if !h.dWarm || (addr*WordBytes)>>h.DL1c.blkShift != h.lastDTag || (write && !h.dDirty) {
+		return false
+	}
+	h.S.DL1Accesses++
+	h.DL1c.Accesses++
+	h.DTLB.Accesses++
+	return true
 }
 
 // AccessD performs a data access to word address addr.
 func (h *Hierarchy) AccessD(addr int64, write bool) Result {
+	if h.AccessDWarm(addr, write) {
+		return Result{L1Hit: true, TLBHit: true}
+	}
 	byteAddr := addr * WordBytes
 	var r Result
 	r.TLBHit = h.DTLB.Access(byteAddr)
@@ -168,6 +237,12 @@ func (h *Hierarchy) AccessD(addr int64, write bool) Result {
 			}
 		}
 	}
+	h.lastDTag = byteAddr >> h.DL1c.blkShift
+	h.dWarm = h.warmOK && r.L1Hit && r.TLBHit
+	// After a write the block is certainly dirty; after a read hit it
+	// may be dirty from before, but assuming clean only routes the
+	// next write through the full path (which re-marks it dirty).
+	h.dDirty = write
 	return r
 }
 
@@ -179,6 +254,8 @@ func (h *Hierarchy) Reset() {
 	h.ITLB.Reset()
 	h.DTLB.Reset()
 	h.S = Stats{}
+	h.iWarm, h.dWarm, h.dDirty = false, false, false
+	h.lastITag, h.lastDTag = 0, 0
 }
 
 // Collector adapts a Hierarchy to the trace.Consumer interface for
@@ -193,11 +270,17 @@ func NewCollector(h *Hierarchy) *Collector { return &Collector{H: h} }
 
 // Consume implements trace.Consumer.
 func (c *Collector) Consume(d *trace.DynInst) {
-	c.H.AccessI(d.PC)
+	if !c.H.AccessIWarm(d.PC) {
+		c.H.AccessI(d.PC)
+	}
 	if d.IsLoad {
-		c.H.AccessD(d.EffAddr, false)
+		if !c.H.AccessDWarm(d.EffAddr, false) {
+			c.H.AccessD(d.EffAddr, false)
+		}
 	} else if d.IsStore {
-		c.H.AccessD(d.EffAddr, true)
+		if !c.H.AccessDWarm(d.EffAddr, true) {
+			c.H.AccessD(d.EffAddr, true)
+		}
 	}
 }
 

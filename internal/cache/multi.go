@@ -1,0 +1,173 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// L2SpaceSim simulates the fixed part of a hierarchy (split L1s and
+// TLBs) exactly once and, behind it, every candidate L2 geometry at
+// the same time: the L2's input stream depends only on the fixed L1s,
+// so one WBStackSim per distinct L2 set count recovers the exact
+// per-configuration miss and writeback counts for every (size, ways)
+// pair via the stack-inclusion property. This is the single-pass
+// engine that collapses the per-configuration trace replays of the
+// design-space exploration into one traversal.
+type L2SpaceSim struct {
+	il1, dl1   *Cache
+	itlb, dtlb *TLB
+
+	fixed   Stats // counters independent of the L2 geometry
+	l2Block int64
+	sims    []*WBStackSim // one per distinct L2 set count
+	bySets  map[int64]int // set count -> index into sims
+
+	// Same-block fast path, mirroring Hierarchy's: re-touching the MRU
+	// line and MRU page changes no replacement state and cannot reach
+	// the L2, so an all-hit repeat access is a pure counter bump.
+	warmOK   bool
+	iWarm    bool
+	lastITag int64
+	dWarm    bool
+	dDirty   bool
+	lastDTag int64
+}
+
+// NewL2SpaceSim builds the engine for the fixed front of base (base's
+// own L2 is ignored) and the candidate L2 configurations l2s, which
+// must all share one block size.
+func NewL2SpaceSim(base HierarchyConfig, l2s []Config) (*L2SpaceSim, error) {
+	if len(l2s) == 0 {
+		return nil, fmt.Errorf("cache: L2SpaceSim needs at least one L2 configuration")
+	}
+	if base.ITLBEntries <= 0 || base.DTLBEntries <= 0 {
+		return nil, fmt.Errorf("cache: L2SpaceSim: non-positive TLB entries")
+	}
+	s := &L2SpaceSim{l2Block: l2s[0].BlockBytes, bySets: make(map[int64]int)}
+	var err error
+	if s.il1, err = New(base.IL1); err != nil {
+		return nil, err
+	}
+	if s.dl1, err = New(base.DL1); err != nil {
+		return nil, err
+	}
+	if s.itlb, err = NewTLB(base.ITLBEntries, base.PageBytes); err != nil {
+		return nil, err
+	}
+	if s.dtlb, err = NewTLB(base.DTLBEntries, base.PageBytes); err != nil {
+		return nil, err
+	}
+	setCounts := map[int64]bool{}
+	for _, l2 := range l2s {
+		if err := l2.Validate(); err != nil {
+			return nil, err
+		}
+		if l2.BlockBytes != s.l2Block {
+			return nil, fmt.Errorf("cache: L2SpaceSim: mixed L2 block sizes %d and %d",
+				s.l2Block, l2.BlockBytes)
+		}
+		setCounts[l2.Sets()] = true
+	}
+	// Deterministic simulator order (stats are order-independent, but
+	// determinism keeps memory layout and profiles stable).
+	ordered := make([]int64, 0, len(setCounts))
+	for sc := range setCounts {
+		ordered = append(ordered, sc)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	for _, sc := range ordered {
+		s.bySets[sc] = len(s.sims)
+		s.sims = append(s.sims, NewWBStackSim(sc, s.l2Block))
+	}
+	s.warmOK = base.IL1.BlockBytes <= base.PageBytes && base.DL1.BlockBytes <= base.PageBytes
+	return s, nil
+}
+
+func (s *L2SpaceSim) l2Access(byteAddr int64, class StreamClass, write bool) {
+	for _, sim := range s.sims {
+		sim.Access(byteAddr, class, write)
+	}
+}
+
+// Consume implements trace.Consumer, mirroring Hierarchy's access
+// sequence exactly: I-fetch first, then (for loads/stores) the dirty
+// L1 victim's L2 writeback, then the demand data access.
+func (s *L2SpaceSim) Consume(d *trace.DynInst) {
+	byteAddr := d.PC * InstrBytes
+	if tag := byteAddr >> s.il1.blkShift; s.iWarm && tag == s.lastITag {
+		s.fixed.IL1Accesses++
+		s.il1.Accesses++
+		s.itlb.Accesses++
+	} else {
+		tlbHit := s.itlb.Access(byteAddr)
+		if !tlbHit {
+			s.fixed.ITLBMisses++
+		}
+		s.fixed.IL1Accesses++
+		hit, _, _ := s.il1.Access(byteAddr, false)
+		if !hit {
+			s.fixed.IL1Misses++
+			s.l2Access(byteAddr, StreamInstr, false)
+		}
+		s.lastITag = tag
+		s.iWarm = s.warmOK && hit && tlbHit
+	}
+
+	if !d.IsLoad && !d.IsStore {
+		return
+	}
+	write := d.IsStore
+	byteAddr = d.EffAddr * WordBytes
+	if tag := byteAddr >> s.dl1.blkShift; s.dWarm && tag == s.lastDTag && (s.dDirty || !write) {
+		s.fixed.DL1Accesses++
+		s.dl1.Accesses++
+		s.dtlb.Accesses++
+		return
+	}
+	tlbHit := s.dtlb.Access(byteAddr)
+	if !tlbHit {
+		s.fixed.DTLBMisses++
+	}
+	s.fixed.DL1Accesses++
+	hit, wb, victim := s.dl1.Access(byteAddr, write)
+	if wb {
+		s.l2Access(victim, StreamWriteback, true)
+	}
+	if !hit {
+		s.fixed.DL1Misses++
+		class := StreamStore
+		if !write {
+			s.fixed.DL1LoadMisses++
+			class = StreamLoad
+		}
+		s.l2Access(byteAddr, class, write)
+	}
+	s.lastDTag = byteAddr >> s.dl1.blkShift
+	s.dWarm = s.warmOK && hit && tlbHit
+	s.dDirty = write
+}
+
+// StatsFor reconstructs the full Stats a Hierarchy with the fixed
+// front and the given L2 would have collected over the same stream.
+func (s *L2SpaceSim) StatsFor(l2 Config) (Stats, error) {
+	if err := l2.Validate(); err != nil {
+		return Stats{}, err
+	}
+	if l2.BlockBytes != s.l2Block {
+		return Stats{}, fmt.Errorf("cache: L2SpaceSim: block size %d not simulated (engine uses %d)",
+			l2.BlockBytes, s.l2Block)
+	}
+	i, ok := s.bySets[l2.Sets()]
+	if !ok {
+		return Stats{}, fmt.Errorf("cache: L2SpaceSim: set count %d not simulated", l2.Sets())
+	}
+	sim := s.sims[i]
+	out := s.fixed
+	out.IL2Misses = sim.ClassMisses(StreamInstr, l2.Ways)
+	out.DL2LoadMisses = sim.ClassMisses(StreamLoad, l2.Ways)
+	out.DL2Misses = out.DL2LoadMisses + sim.ClassMisses(StreamStore, l2.Ways)
+	out.Writebacks = sim.Writebacks(l2.Ways)
+	return out, nil
+}

@@ -1,0 +1,294 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// table2L2s returns the eight Table 2 L2 geometries (4 sizes × 2
+// associativities, 64 B blocks).
+func table2L2s() []Config {
+	var out []Config
+	for _, sizeKB := range []int64{128, 256, 512, 1024} {
+		for _, ways := range []int{8, 16} {
+			out = append(out, Config{Name: "l2", SizeBytes: sizeKB * 1024, Ways: ways, BlockBytes: 64})
+		}
+	}
+	return out
+}
+
+func testFront() HierarchyConfig {
+	return HierarchyConfig{
+		IL1:         Config{Name: "il1", SizeBytes: 2048, Ways: 2, BlockBytes: 64},
+		DL1:         Config{Name: "dl1", SizeBytes: 2048, Ways: 2, BlockBytes: 64},
+		ITLBEntries: 4, DTLBEntries: 4, PageBytes: 4096,
+	}
+}
+
+// randTrace synthesizes a dynamic instruction stream with clustered,
+// reused addresses so that all of L1 hits, L2 hits, L2 misses, dirty
+// evictions and TLB misses occur.
+func randTrace(rng *rand.Rand, n int) []trace.DynInst {
+	tr := make([]trace.DynInst, n)
+	pc := int64(0)
+	for i := range tr {
+		d := &tr[i]
+		d.Seq = int64(i)
+		d.PC = pc
+		switch rng.Intn(8) {
+		case 0: // jump to a random region: spreads the I-stream
+			pc = int64(rng.Intn(8)) * 512
+		default:
+			pc++
+		}
+		switch rng.Intn(4) {
+		case 0:
+			d.IsLoad = true
+			d.EffAddr = int64(rng.Intn(6000)) * 16 // word addresses, 64 B blocks collide
+		case 1:
+			d.IsStore = true
+			d.EffAddr = int64(rng.Intn(6000)) * 16
+		}
+	}
+	return tr
+}
+
+// TestL2SpaceSimMatchesHierarchy is the tentpole equivalence property:
+// for every Table 2 L2 geometry, the single-pass engine must
+// reconstruct the exact Stats a dedicated Hierarchy replay collects —
+// including the load/store miss split and dirty writeback counts.
+func TestL2SpaceSimMatchesHierarchy(t *testing.T) {
+	front := testFront()
+	l2s := table2L2s()
+	// A smaller L2 set than Table 2 exercises capacity pressure harder.
+	l2s = append(l2s,
+		Config{Name: "l2", SizeBytes: 16 * 1024, Ways: 8, BlockBytes: 64},
+		Config{Name: "l2", SizeBytes: 32 * 1024, Ways: 16, BlockBytes: 64},
+		Config{Name: "l2", SizeBytes: 8 * 1024, Ways: 1, BlockBytes: 64},
+	)
+	for _, seed := range []int64{1, 7, 42} {
+		tr := randTrace(rand.New(rand.NewSource(seed)), 60000)
+		eng, err := NewL2SpaceSim(front, l2s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range tr {
+			eng.Consume(&tr[i])
+		}
+		for _, l2 := range l2s {
+			hcfg := front
+			hcfg.L2 = l2
+			h := MustNewHierarchy(hcfg)
+			col := NewCollector(h)
+			for i := range tr {
+				col.Consume(&tr[i])
+			}
+			got, err := eng.StatsFor(l2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != col.Stats() {
+				t.Errorf("seed %d, %s: single-pass stats diverge\n got  %+v\n want %+v",
+					seed, l2, got, col.Stats())
+			}
+		}
+	}
+}
+
+// TestWBStackSimMatchesExactCaches extends the classic stack-distance
+// equivalence to the class/writeback-aware simulator: per-class miss
+// counts and writeback counts must match real write-back LRU caches at
+// every associativity.
+func TestWBStackSimMatchesExactCaches(t *testing.T) {
+	const (
+		sets  = 16
+		block = 64
+	)
+	type shadow struct {
+		c      *Cache
+		wb     int64
+		misses [NumStreamClasses]int64
+	}
+	rng := rand.New(rand.NewSource(99))
+	ss := NewWBStackSim(sets, block)
+	shadows := map[int]*shadow{}
+	for _, ways := range []int{1, 2, 4, 8, 16} {
+		shadows[ways] = &shadow{c: MustNew(Config{
+			Name: "t", SizeBytes: sets * int64(ways) * block, Ways: ways, BlockBytes: block,
+		})}
+	}
+	for i := 0; i < 40000; i++ {
+		addr := int64(rng.Intn(500)) * block / 2
+		class := StreamClass(rng.Intn(int(NumStreamClasses)))
+		write := class == StreamStore || class == StreamWriteback
+		ss.Access(addr, class, write)
+		for _, sh := range shadows {
+			hit, wb, _ := sh.c.Access(addr, write)
+			if !hit {
+				sh.misses[class]++
+			}
+			if wb {
+				sh.wb++
+			}
+		}
+	}
+	for ways, sh := range shadows {
+		for c := StreamClass(0); c < NumStreamClasses; c++ {
+			if got, want := ss.ClassMisses(c, ways), sh.misses[c]; got != want {
+				t.Errorf("assoc %d class %d: stack misses %d, exact %d", ways, c, got, want)
+			}
+		}
+		if got := ss.MissesFor(ways); got != sh.c.Misses {
+			t.Errorf("assoc %d: total stack misses %d, exact %d", ways, got, sh.c.Misses)
+		}
+		if got, want := ss.Writebacks(ways), sh.wb; got != want {
+			t.Errorf("assoc %d: stack writebacks %d, exact %d", ways, got, want)
+		}
+	}
+}
+
+func TestL2SpaceSimRejectsBadInput(t *testing.T) {
+	front := testFront()
+	if _, err := NewL2SpaceSim(front, nil); err == nil {
+		t.Error("empty L2 set accepted")
+	}
+	mixed := []Config{
+		{Name: "a", SizeBytes: 128 * 1024, Ways: 8, BlockBytes: 64},
+		{Name: "b", SizeBytes: 128 * 1024, Ways: 8, BlockBytes: 32},
+	}
+	if _, err := NewL2SpaceSim(front, mixed); err == nil {
+		t.Error("mixed block sizes accepted")
+	}
+	eng, err := NewL2SpaceSim(front, mixed[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.StatsFor(Config{Name: "c", SizeBytes: 64 * 1024, Ways: 1, BlockBytes: 64}); err == nil {
+		t.Error("unregistered set count accepted")
+	}
+	if _, err := eng.StatsFor(mixed[1]); err == nil {
+		t.Error("wrong block size accepted")
+	}
+}
+
+// rawHierarchy replays the seed's AccessI/AccessD sequence with bare
+// Cache/TLB components — no same-block fast path — so the fast-pathed
+// Hierarchy has an independent reference.
+type rawHierarchy struct {
+	il1, dl1, l2 *Cache
+	itlb, dtlb   *TLB
+	s            Stats
+}
+
+func newRawHierarchy(cfg HierarchyConfig) *rawHierarchy {
+	return &rawHierarchy{
+		il1:  MustNew(cfg.IL1),
+		dl1:  MustNew(cfg.DL1),
+		l2:   MustNew(cfg.L2),
+		itlb: MustNewTLB(cfg.ITLBEntries, cfg.PageBytes),
+		dtlb: MustNewTLB(cfg.DTLBEntries, cfg.PageBytes),
+	}
+}
+
+func (h *rawHierarchy) consume(d *trace.DynInst) {
+	byteAddr := d.PC * InstrBytes
+	if !h.itlb.Access(byteAddr) {
+		h.s.ITLBMisses++
+	}
+	h.s.IL1Accesses++
+	if hit, _, _ := h.il1.Access(byteAddr, false); !hit {
+		h.s.IL1Misses++
+		l2hit, wb, _ := h.l2.Access(byteAddr, false)
+		if wb {
+			h.s.Writebacks++
+		}
+		if !l2hit {
+			h.s.IL2Misses++
+		}
+	}
+	if !d.IsLoad && !d.IsStore {
+		return
+	}
+	write := d.IsStore
+	byteAddr = d.EffAddr * WordBytes
+	if !h.dtlb.Access(byteAddr) {
+		h.s.DTLBMisses++
+	}
+	h.s.DL1Accesses++
+	hit, wb1, victim := h.dl1.Access(byteAddr, write)
+	if wb1 {
+		if _, wb2, _ := h.l2.Access(victim, true); wb2 {
+			h.s.Writebacks++
+		}
+	}
+	if !hit {
+		h.s.DL1Misses++
+		if !write {
+			h.s.DL1LoadMisses++
+		}
+		l2hit, wb, _ := h.l2.Access(byteAddr, write)
+		if wb {
+			h.s.Writebacks++
+		}
+		if !l2hit {
+			h.s.DL2Misses++
+			if !write {
+				h.s.DL2LoadMisses++
+			}
+		}
+	}
+}
+
+// TestHierarchyFastPathExact pins the same-block fast path: Hierarchy
+// must collect statistics identical to a bare-component replay with no
+// fast path, on streams dense in same-block repeats.
+func TestHierarchyFastPathExact(t *testing.T) {
+	cfg := testFront()
+	cfg.L2 = Config{Name: "l2", SizeBytes: 16 * 1024, Ways: 4, BlockBytes: 64}
+	for _, seed := range []int64{3, 11} {
+		rng := rand.New(rand.NewSource(seed))
+		tr := make([]trace.DynInst, 80000)
+		pc := int64(0)
+		addr := int64(0)
+		for i := range tr {
+			d := &tr[i]
+			d.PC = pc
+			if rng.Intn(12) == 0 {
+				pc = int64(rng.Intn(4096)) // jump far: new block, maybe new page
+			} else {
+				pc++ // sequential: same-block repeats dominate
+			}
+			switch rng.Intn(5) {
+			case 0, 1:
+				d.IsLoad = true
+			case 2:
+				d.IsStore = true
+			default:
+				continue
+			}
+			if rng.Intn(3) > 0 {
+				addr++ // walk: same-block repeats with read/write mixes
+			} else {
+				addr = int64(rng.Intn(5000)) * 16
+			}
+			d.EffAddr = addr
+		}
+		h := MustNewHierarchy(cfg)
+		raw := newRawHierarchy(cfg)
+		for i := range tr {
+			d := &tr[i]
+			h.AccessI(d.PC)
+			if d.IsLoad {
+				h.AccessD(d.EffAddr, false)
+			} else if d.IsStore {
+				h.AccessD(d.EffAddr, true)
+			}
+			raw.consume(d)
+		}
+		if h.S != raw.s {
+			t.Errorf("seed %d: fast-path stats diverge\n got  %+v\n want %+v", seed, h.S, raw.s)
+		}
+	}
+}

@@ -8,11 +8,10 @@ package dse
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/par"
 	"repro/internal/pipeline"
 	"repro/internal/power"
 	"repro/internal/uarch"
@@ -60,57 +59,23 @@ type Point struct {
 	CPIErr  float64 // |model-sim|/sim
 }
 
-// statsKey identifies the (hierarchy, predictor) combination a set of
-// mixed program/machine statistics belongs to. The mechanistic model's
-// key property — one profiling pass covers the whole space — shows up
-// here: 192 design points share 16 statistics sets.
-type statsKey struct {
-	l2SizeKB int64
-	l2Ways   int
-	pred     uarch.PredictorKind
-}
-
-// inputsMemo caches model inputs per statsKey, concurrency-safe.
-type inputsMemo struct {
-	pw *harness.Profiled
-	mu sync.Mutex
-	m  map[statsKey]core.Inputs
-}
-
-func newInputsMemo(pw *harness.Profiled) *inputsMemo {
-	return &inputsMemo{pw: pw, m: make(map[statsKey]core.Inputs)}
-}
-
-func (im *inputsMemo) get(cfg uarch.Config) (core.Inputs, error) {
-	key := statsKey{cfg.Hier.L2.SizeBytes / 1024, cfg.Hier.L2.Ways, cfg.Predictor}
-	im.mu.Lock()
-	in, ok := im.m[key]
-	im.mu.Unlock()
-	if ok {
-		return in, nil
-	}
-	// Replay outside the lock; duplicate work on a race is harmless.
-	in, err := im.pw.Inputs(cfg)
-	if err != nil {
-		return core.Inputs{}, err
-	}
-	im.mu.Lock()
-	im.m[key] = in
-	im.mu.Unlock()
-	return in, nil
-}
-
-// Explore evaluates the model on every configuration. One trace replay
-// per distinct (hierarchy, predictor) pair collects the mixed
-// statistics; model evaluation itself is closed-form.
+// Explore evaluates the model on every configuration. A single trace
+// replay collects the mixed statistics for the entire space at once —
+// every L2 geometry via stack-distance simulation, every predictor
+// simultaneously (harness.CollectMultiStats); model evaluation itself
+// is closed-form.
 func Explore(pw *harness.Profiled, cfgs []uarch.Config, pm power.Model) ([]Point, error) {
-	return explore(newInputsMemo(pw), cfgs, pm)
+	memo, err := pw.MultiInputs(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	return explore(memo, cfgs, pm)
 }
 
-func explore(memo *inputsMemo, cfgs []uarch.Config, pm power.Model) ([]Point, error) {
+func explore(memo *harness.InputsSet, cfgs []uarch.Config, pm power.Model) ([]Point, error) {
 	out := make([]Point, 0, len(cfgs))
 	for _, cfg := range cfgs {
-		in, err := memo.get(cfg)
+		in, err := memo.Inputs(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -136,64 +101,66 @@ func explore(memo *inputsMemo, cfgs []uarch.Config, pm power.Model) ([]Point, er
 }
 
 // ExploreValidated additionally runs the detailed simulator for every
-// configuration, in parallel across workers (≤0 means GOMAXPROCS).
+// configuration, in parallel across workers (≤0 means the process
+// default, see par.SetDefault).
 func ExploreValidated(pw *harness.Profiled, cfgs []uarch.Config, pm power.Model, workers int) ([]Point, error) {
-	memo := newInputsMemo(pw)
+	memo, err := pw.MultiInputs(cfgs)
+	if err != nil {
+		return nil, err
+	}
 	pts, err := explore(memo, cfgs, pm)
 	if err != nil {
 		return nil, err
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	var (
-		wg    sync.WaitGroup
-		mu    sync.Mutex
-		first error
-	)
-	fail := func(err error) {
-		mu.Lock()
-		if first == nil {
-			first = err
+	err = par.ForEach(workers, len(pts), func(i int) error {
+		p := &pts[i]
+		sim, err := pipeline.Simulate(pw.Trace, p.Cfg)
+		if err != nil {
+			return err
 		}
-		mu.Unlock()
-	}
-	sem := make(chan struct{}, workers)
-	for i := range pts {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(p *Point) {
-			defer func() { <-sem; wg.Done() }()
-			sim, err := pipeline.Simulate(pw.Trace, p.Cfg)
-			if err != nil {
-				fail(err)
-				return
-			}
-			in, err := memo.get(p.Cfg)
-			if err != nil {
-				fail(err)
-				return
-			}
-			ev := power.EventsFrom(in.Prof, in.Mem, in.Branch)
-			edp, err := pm.EDP(ev, p.Cfg, float64(sim.Cycles))
-			if err != nil {
-				fail(err)
-				return
-			}
-			p.Sim = &sim
-			p.SimCPI = sim.CPI()
-			p.SimSecs = p.Cfg.Seconds(float64(sim.Cycles))
-			p.SimEDP = edp
-			if p.SimCPI > 0 {
-				p.CPIErr = abs(p.ModelCPI-p.SimCPI) / p.SimCPI
-			}
-		}(&pts[i])
-	}
-	wg.Wait()
-	if first != nil {
-		return nil, first
+		in, err := memo.Inputs(p.Cfg)
+		if err != nil {
+			return err
+		}
+		ev := power.EventsFrom(in.Prof, in.Mem, in.Branch)
+		edp, err := pm.EDP(ev, p.Cfg, float64(sim.Cycles))
+		if err != nil {
+			return err
+		}
+		p.Sim = &sim
+		p.SimCPI = sim.CPI()
+		p.SimSecs = p.Cfg.Seconds(float64(sim.Cycles))
+		p.SimEDP = edp
+		if p.SimCPI > 0 {
+			p.CPIErr = abs(p.ModelCPI-p.SimCPI) / p.SimCPI
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return pts, nil
+}
+
+// ExploreSuite runs the model-only exploration for several profiled
+// workloads, in parallel across benchmarks (≤0 workers means the
+// process default). Each benchmark's exploration is itself a single
+// trace replay plus closed-form evaluation; the result is indexed like
+// pws.
+func ExploreSuite(pws []*harness.Profiled, cfgs []uarch.Config, pm power.Model, workers int) ([][]Point, error) {
+	out := make([][]Point, len(pws))
+	err := par.ForEach(workers, len(pws), func(i int) error {
+		pts, err := Explore(pws[i], cfgs, pm)
+		if err != nil {
+			return fmt.Errorf("%s: %w", pws[i].Name, err)
+		}
+		out[i] = pts
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // BestEDP returns the index of the point with the lowest EDP according

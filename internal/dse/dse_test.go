@@ -3,6 +3,7 @@ package dse
 import (
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/pipeline"
 	"repro/internal/power"
@@ -104,6 +105,60 @@ func TestExploreValidatedAgreesWithModel(t *testing.T) {
 		}
 		if p.SimEDP <= 0 {
 			t.Errorf("point %s: bad detailed EDP", p.Cfg.Name)
+		}
+	}
+}
+
+// TestExploreSingleReplay pins the headline of this optimisation: the
+// full 192-point Table 2 exploration costs exactly one trace replay
+// for machine statistics.
+func TestExploreSingleReplay(t *testing.T) {
+	pw := profiled(t, "sha")
+	space := Space(uarch.Default())
+	before := harness.ReplayCount()
+	if _, err := Explore(pw, space, power.NewModel()); err != nil {
+		t.Fatal(err)
+	}
+	if got := harness.ReplayCount() - before; got != 1 {
+		t.Errorf("Explore over %d points took %d trace replays, want 1", len(space), got)
+	}
+}
+
+// TestExploreMatchesPerConfigPath verifies the single-pass engine
+// changes nothing observable: model CPI, cycles and EDP must be
+// bit-identical to evaluating each point from a dedicated
+// per-configuration trace replay (the seed code path, still available
+// as harness.MachineStats).
+func TestExploreMatchesPerConfigPath(t *testing.T) {
+	pw := profiled(t, "gsm_c")
+	space := Space(uarch.Default())
+	var sub []uarch.Config
+	for i := 0; i < len(space); i += 7 {
+		sub = append(sub, space[i])
+	}
+	pm := power.NewModel()
+	pts, err := Explore(pw, sub, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range sub {
+		in, err := pw.Inputs(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := core.Predict(in, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := power.EventsFrom(in.Prof, in.Mem, in.Branch)
+		edp, err := pm.EDP(ev, cfg, st.Total())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := pts[i]
+		if p.ModelCPI != st.CPI() || p.ModelCycles != st.Total() || p.ModelEDP != edp {
+			t.Errorf("%s: single-pass point diverges from per-config replay:\n got  CPI=%v cycles=%v EDP=%v\n want CPI=%v cycles=%v EDP=%v",
+				cfg.Name, p.ModelCPI, p.ModelCycles, p.ModelEDP, st.CPI(), st.Total(), edp)
 		}
 	}
 }

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFig5WallTimeOrderIndependent pins the memo accounting: a second
+// Fig5 call in the same process must report the same detailed-sim
+// wall time it recorded at computation time, not ~0 from cache hits.
+func TestFig5WallTimeOrderIndependent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("design-space sweep in -short mode")
+	}
+	a, err := Fig5([]string{"gsm_c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig5([]string{"gsm_c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.SimWall != a.SimWall {
+		t.Errorf("SimWall changed across calls: %v then %v", a.SimWall, b.SimWall)
+	}
+	if a.SimWall <= 0 {
+		t.Errorf("SimWall %v not positive", a.SimWall)
+	}
+	if !strings.Contains(a.Render(), "wall time") {
+		t.Error("render missing wall time line")
+	}
+}

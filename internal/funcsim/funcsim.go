@@ -71,11 +71,25 @@ func MustNew(p *program.Program) *Machine {
 // number of dynamically executed instructions (HALT itself is not
 // counted or streamed: it never enters the modeled pipeline's trace).
 func (m *Machine) Run(sink trace.Consumer) (int64, error) {
+	return m.run(nil, sink)
+}
+
+// RunRecorded executes like Run but builds each retired instruction
+// directly in rec's buffer (reserve capacity first to avoid growth),
+// saving the per-instruction record copy a Recorder sink would make.
+// sink, which may be nil, additionally observes every record.
+func (m *Machine) RunRecorded(rec *trace.Recorder, sink trace.Consumer) (int64, error) {
+	return m.run(rec, sink)
+}
+
+func (m *Machine) run(rec *trace.Recorder, sink trace.Consumer) (int64, error) {
 	maxN := m.MaxInstructions
 	if maxN <= 0 {
 		maxN = DefaultMaxInstructions
 	}
-	var d trace.DynInst
+	record := rec != nil || sink != nil
+	var local trace.DynInst
+	d := &local
 	memLen := int64(len(m.Mem))
 	for !m.Halted {
 		if m.PC < 0 || m.PC >= int64(len(m.Instrs)) {
@@ -91,11 +105,24 @@ func (m *Machine) Run(sink trace.Consumer) (int64, error) {
 		}
 
 		nextPC := m.PC + 1
-		d = trace.DynInst{
-			Seq:   m.Retired,
-			PC:    m.PC,
-			Op:    in.Op,
-			Class: isa.ClassOf(in.Op),
+		if record {
+			// Unobserved runs (sizing passes) skip the record build;
+			// stale fields are never read.
+			if rec != nil {
+				n := len(rec.Insts)
+				if n < cap(rec.Insts) {
+					rec.Insts = rec.Insts[:n+1]
+				} else {
+					rec.Insts = append(rec.Insts, trace.DynInst{})
+				}
+				d = &rec.Insts[n]
+			}
+			*d = trace.DynInst{
+				Seq:   m.Retired,
+				PC:    m.PC,
+				Op:    in.Op,
+				Class: isa.ClassOf(in.Op),
+			}
 		}
 
 		s1 := m.Regs[in.Src1]
@@ -204,22 +231,24 @@ func (m *Machine) Run(sink trace.Consumer) (int64, error) {
 			m.Regs[in.Dst] = wval
 			d.Dst, d.HasDst = in.Dst, true
 		}
-		if in.Src1 != isa.Zero || in.Src2 != isa.Zero {
-			d.NumSrc = 0
-			var tmp [4]isa.Reg
-			for _, r := range in.SrcRegs(tmp[:0]) {
-				if d.NumSrc < 2 {
-					d.Src[d.NumSrc] = r
-					d.NumSrc++
+		if record {
+			if in.Src1 != isa.Zero || in.Src2 != isa.Zero {
+				d.NumSrc = 0
+				var tmp [4]isa.Reg
+				for _, r := range in.SrcRegs(tmp[:0]) {
+					if d.NumSrc < 2 {
+						d.Src[d.NumSrc] = r
+						d.NumSrc++
+					}
 				}
 			}
+			d.NextPC = nextPC
 		}
-		d.NextPC = nextPC
 
 		m.PC = nextPC
 		m.Retired++
 		if sink != nil {
-			sink.Consume(&d)
+			sink.Consume(d)
 		}
 	}
 	return m.Retired, nil

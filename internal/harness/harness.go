@@ -30,11 +30,23 @@ type Profiled struct {
 	Prof  *profile.Profile
 }
 
-// ProfileProgram runs p once, recording the trace and the profile.
+// ProfileProgram runs p once, recording the trace and the profile. A
+// preliminary unobserved run counts the dynamic instructions so the
+// trace buffer is allocated exactly once: the interpreter is far
+// cheaper than the repeated growth copies it replaces.
 func ProfileProgram(p *program.Program) (*Profiled, error) {
+	n0, err := funcsim.RunProgram(p, nil)
+	if err != nil {
+		return nil, fmt.Errorf("harness: sizing %q: %w", p.Name, err)
+	}
 	rec := &trace.Recorder{}
+	rec.Reserve(n0)
 	col := profile.NewCollector(p.Name)
-	n, err := funcsim.RunProgram(p, trace.Tee{rec, col})
+	m, err := funcsim.New(p)
+	if err != nil {
+		return nil, fmt.Errorf("harness: profiling %q: %w", p.Name, err)
+	}
+	n, err := m.RunRecorded(rec, col)
 	if err != nil {
 		return nil, fmt.Errorf("harness: profiling %q: %w", p.Name, err)
 	}
@@ -63,6 +75,7 @@ func MachineStats(tr []trace.DynInst, cfg uarch.Config) (cache.Stats, branch.Sta
 	}
 	cc := cache.NewCollector(h)
 	bc := branch.NewCollector(cfg.Predictor.New())
+	replays.Add(1)
 	for i := range tr {
 		d := &tr[i]
 		cc.Consume(d)

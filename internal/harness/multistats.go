@@ -1,0 +1,159 @@
+package harness
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/branch"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+)
+
+// replays counts full-trace traversals performed for machine-statistics
+// collection. Tests use it to pin the single-pass property of the
+// design-space exploration: 192 design points, one replay.
+var replays atomic.Int64
+
+// ReplayCount returns the number of machine-statistics trace
+// traversals performed so far in this process.
+func ReplayCount() int64 { return replays.Load() }
+
+// hierFront identifies the L2-independent part of a hierarchy plus the
+// L2 block size — the unit one single-pass engine covers.
+type hierFront struct {
+	il1, dl1    cache.Config
+	itlbEntries int
+	dtlbEntries int
+	pageBytes   int64
+	l2Block     int64
+}
+
+func frontOf(h cache.HierarchyConfig) hierFront {
+	return hierFront{
+		il1:         h.IL1,
+		dl1:         h.DL1,
+		itlbEntries: h.ITLBEntries,
+		dtlbEntries: h.DTLBEntries,
+		pageBytes:   h.PageBytes,
+		l2Block:     h.L2.BlockBytes,
+	}
+}
+
+// MultiStats holds the mixed program/machine statistics for every
+// design point of a space, collected in a single traversal of the
+// trace: one stack-distance engine per distinct L1/TLB front covers
+// all L2 geometries, and every distinct branch predictor runs
+// simultaneously on the same stream.
+type MultiStats struct {
+	cacheStats  map[cache.HierarchyConfig]cache.Stats
+	branchStats map[uarch.PredictorKind]branch.Stats
+}
+
+// CollectMultiStats collects machine statistics for every
+// configuration in cfgs in one pass over tr. The returned MultiStats
+// is immutable and safe for concurrent use.
+func CollectMultiStats(tr []trace.DynInst, cfgs []uarch.Config) (*MultiStats, error) {
+	m := &MultiStats{
+		cacheStats:  make(map[cache.HierarchyConfig]cache.Stats),
+		branchStats: make(map[uarch.PredictorKind]branch.Stats),
+	}
+	if len(cfgs) == 0 {
+		return m, nil
+	}
+
+	// One engine per distinct fixed front; one collector per predictor.
+	engines := make(map[hierFront]*cache.L2SpaceSim)
+	l2sByFront := make(map[hierFront][]cache.Config)
+	var hiers []cache.HierarchyConfig
+	for _, cfg := range cfgs {
+		if _, dup := m.cacheStats[cfg.Hier]; !dup {
+			m.cacheStats[cfg.Hier] = cache.Stats{} // mark wanted
+			hiers = append(hiers, cfg.Hier)
+			f := frontOf(cfg.Hier)
+			l2sByFront[f] = append(l2sByFront[f], cfg.Hier.L2)
+		}
+		if _, dup := m.branchStats[cfg.Predictor]; !dup {
+			m.branchStats[cfg.Predictor] = branch.Stats{}
+		}
+	}
+	consumers := make(trace.Tee, 0, len(l2sByFront)+len(m.branchStats))
+	for f, l2s := range l2sByFront {
+		base := cache.HierarchyConfig{
+			IL1: f.il1, DL1: f.dl1,
+			ITLBEntries: f.itlbEntries, DTLBEntries: f.dtlbEntries,
+			PageBytes: f.pageBytes,
+		}
+		eng, err := cache.NewL2SpaceSim(base, l2s)
+		if err != nil {
+			return nil, err
+		}
+		engines[f] = eng
+		consumers = append(consumers, eng)
+	}
+	bcs := make(map[uarch.PredictorKind]*branch.Collector, len(m.branchStats))
+	for pk := range m.branchStats {
+		bc := branch.NewCollector(pk.New())
+		bcs[pk] = bc
+		consumers = append(consumers, bc)
+	}
+
+	replays.Add(1)
+	for i := range tr {
+		consumers.Consume(&tr[i])
+	}
+
+	for _, h := range hiers {
+		cs, err := engines[frontOf(h)].StatsFor(h.L2)
+		if err != nil {
+			return nil, err
+		}
+		m.cacheStats[h] = cs
+	}
+	for pk, bc := range bcs {
+		m.branchStats[pk] = bc.S
+	}
+	return m, nil
+}
+
+// Stats returns the machine statistics for one design point of the
+// collected space.
+func (m *MultiStats) Stats(cfg uarch.Config) (cache.Stats, branch.Stats, error) {
+	cs, ok := m.cacheStats[cfg.Hier]
+	if !ok {
+		return cache.Stats{}, branch.Stats{}, fmt.Errorf("harness: hierarchy %v not in collected space", cfg.Hier)
+	}
+	bs, ok := m.branchStats[cfg.Predictor]
+	if !ok {
+		return cache.Stats{}, branch.Stats{}, fmt.Errorf("harness: predictor %v not in collected space", cfg.Predictor)
+	}
+	return cs, bs, nil
+}
+
+// MultiInputs collects statistics for the whole space in one pass and
+// returns the per-configuration model inputs, keyed by the memo
+// accessor. See CollectMultiStats.
+func (pw *Profiled) MultiInputs(cfgs []uarch.Config) (*InputsSet, error) {
+	ms, err := CollectMultiStats(pw.Trace, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	return &InputsSet{pw: pw, ms: ms}, nil
+}
+
+// InputsSet resolves model inputs for any configuration of a collected
+// space. It is immutable and safe for concurrent use.
+type InputsSet struct {
+	pw *Profiled
+	ms *MultiStats
+}
+
+// Inputs assembles the model inputs for one design point.
+func (s *InputsSet) Inputs(cfg uarch.Config) (core.Inputs, error) {
+	cs, bs, err := s.ms.Stats(cfg)
+	if err != nil {
+		return core.Inputs{}, err
+	}
+	return core.Inputs{Prof: s.pw.Prof, Mem: cs, Branch: bs}, nil
+}

@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+// table2Combos enumerates the 16 distinct (L2 size, L2 ways, predictor)
+// statistics sets behind the 192-point Table 2 space.
+func table2Combos() []uarch.Config {
+	var out []uarch.Config
+	base := uarch.Default()
+	for _, sizeKB := range []int{128, 256, 512, 1024} {
+		for _, ways := range []int{8, 16} {
+			for _, pk := range []uarch.PredictorKind{uarch.PredGShare1KB, uarch.PredHybrid3_5KB} {
+				out = append(out, base.WithL2(sizeKB, ways).WithPredictor(pk))
+			}
+		}
+	}
+	return out
+}
+
+// TestMultiStatsMatchesPerConfigReplay pins the tentpole property: the
+// single-pass engine must reproduce, bit for bit, the statistics the
+// per-configuration replay collects for every Table 2 combination.
+func TestMultiStatsMatchesPerConfigReplay(t *testing.T) {
+	for _, name := range []string{"sha", "tiff2bw"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec, err := workloads.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pw := MustProfileProgram(spec.Build())
+			combos := table2Combos()
+			ms, err := CollectMultiStats(pw.Trace, combos)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, cfg := range combos {
+				wantC, wantB, err := MachineStats(pw.Trace, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotC, gotB, err := ms.Stats(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotC != wantC {
+					t.Errorf("%s: cache stats diverge\n got  %+v\n want %+v", cfg, gotC, wantC)
+				}
+				if gotB != wantB {
+					t.Errorf("%s: branch stats diverge\n got  %+v\n want %+v", cfg, gotB, wantB)
+				}
+			}
+		})
+	}
+}
+
+// TestCollectMultiStatsSinglePass asserts the whole Table 2 space
+// costs exactly one trace traversal.
+func TestCollectMultiStatsSinglePass(t *testing.T) {
+	spec, err := workloads.ByName("sha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw := MustProfileProgram(spec.Build())
+	before := ReplayCount()
+	if _, err := CollectMultiStats(pw.Trace, table2Combos()); err != nil {
+		t.Fatal(err)
+	}
+	if got := ReplayCount() - before; got != 1 {
+		t.Errorf("CollectMultiStats over 16 combos took %d replays, want 1", got)
+	}
+}
+
+// TestMultiStatsUnknownConfig verifies lookups outside the collected
+// space fail loudly instead of returning zero statistics.
+func TestMultiStatsUnknownConfig(t *testing.T) {
+	spec, err := workloads.ByName("sha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw := MustProfileProgram(spec.Build())
+	base := uarch.Default()
+	ms, err := CollectMultiStats(pw.Trace, []uarch.Config{base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ms.Stats(base.WithL2(128, 16)); err == nil {
+		t.Error("unknown hierarchy accepted")
+	}
+	if _, _, err := ms.Stats(base.WithPredictor(uarch.PredBimodal2KB)); err == nil {
+		t.Error("unknown predictor accepted")
+	}
+}

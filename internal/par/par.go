@@ -1,0 +1,89 @@
+// Package par is the shared worker-pool helper behind every parallel
+// loop in the repository: the figure-level experiment loops, the
+// design-space validation and the CLI binaries all fan work out
+// through ForEach, and the -workers flags of cmd/experiments and
+// cmd/inorder-model plumb into SetDefault.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers overrides GOMAXPROCS as the pool size used when a
+// caller passes ≤ 0; zero means "use GOMAXPROCS".
+var defaultWorkers atomic.Int64
+
+// SetDefault sets the process-wide default worker count used when a
+// caller requests ≤ 0 workers. n ≤ 0 restores GOMAXPROCS.
+func SetDefault(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// Workers resolves a requested worker count: values > 0 pass through;
+// otherwise the process default (SetDefault, falling back to
+// GOMAXPROCS).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	if d := defaultWorkers.Load(); d > 0 {
+		return int(d)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs f(i) for every i in [0, n) across Workers(workers)
+// goroutines and returns the first error encountered. All iterations
+// run regardless of earlier failures (results are index-addressed by
+// callers, so partial slices never appear); f must be safe for
+// concurrent invocation on distinct indices.
+func ForEach(workers, n int, f func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	var (
+		next  atomic.Int64
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := f(i); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}

@@ -100,8 +100,16 @@ func Simulate(tr []trace.DynInst, cfg uarch.Config) (Result, error) {
 	mulLat := int64(cfg.MulLatency)
 	divLat := int64(cfg.DivLatency)
 
-	// stages[0] is the fetch stage; stages[D-1] feeds execute.
-	stages := make([]group, D)
+	// stage i holds the group backing[order[i]]; order[0] is the fetch
+	// stage, order[D-1] feeds execute. Groups are fixed objects and the
+	// lockstep shift permutes the int32 order array — pointer-free, so
+	// the common full-cascade rotation is a tiny memmove with no write
+	// barriers, and group values are never copied.
+	backing := make([]group, D)
+	order := make([]int32, D)
+	for i := range order {
+		order[i] = int32(i)
+	}
 	last := D - 1
 
 	var regReady [isa.NumRegs]int64
@@ -114,7 +122,10 @@ func Simulate(tr []trace.DynInst, cfg uarch.Config) (Result, error) {
 		pendingBranch  int64 // Seq of the mispredicted branch being waited on
 		pos            int   // next trace index to fetch
 		lastAdmit      int64
-		inFlight       int // instructions currently in the front-end
+		inFlight       int   // instructions currently in the front-end
+		emptyStages    = D   // stages currently holding no instructions
+		maxRegReady    int64 // upper bound on every regReady entry
+		warmIFetches   int64 // batched same-block I-fetch hits (IWarmHit)
 	)
 
 	for pos < len(tr) || inFlight > 0 {
@@ -123,20 +134,32 @@ func Simulate(tr []trace.DynInst, cfg uarch.Config) (Result, error) {
 		var memCum int64 // cumulative extra memory-stage cycles this group
 		groupHasMem := false
 		depBlocked := false
-		g := &stages[last]
-		for admitted < W && !g.empty() {
-			if cycle < exBlockedUntil {
-				break
-			}
-			if memFree > cycle+1 {
-				break // memory stage blocked; execute cannot drain
-			}
+		var depReady int64 // cycle the blocking instruction's operands are all ready
+		g := &backing[order[last]]
+		// Execute-blocked and memory-blocked are admission-loop
+		// invariants: exBlockedUntil only moves on a mul/div admission,
+		// which ends the loop, and memFree only moves after it.
+		for cycle >= exBlockedUntil && memFree <= cycle+1 && admitted < W && !g.empty() {
 			d := &tr[g.idx[g.head]]
 			srcOK := true
-			for i := 0; i < d.NumSrc; i++ {
-				if regReady[d.Src[i]] > cycle {
-					srcOK = false
-					break
+			if maxRegReady > cycle {
+				// Some register is still being produced; check this
+				// instruction's sources (at most two).
+				if d.NumSrc > 0 {
+					if r := regReady[d.Src[0]]; r > cycle {
+						srcOK = false
+						if r > depReady {
+							depReady = r
+						}
+					}
+					if d.NumSrc > 1 {
+						if r := regReady[d.Src[1]]; r > cycle {
+							srcOK = false
+							if r > depReady {
+								depReady = r
+							}
+						}
+					}
 				}
 			}
 			if !srcOK {
@@ -159,21 +182,26 @@ func Simulate(tr []trace.DynInst, cfg uarch.Config) (Result, error) {
 				}
 				if d.HasDst {
 					regReady[d.Dst] = cycle + lat
+					if cycle+lat > maxRegReady {
+						maxRegReady = cycle + lat
+					}
 				}
 				exBlockedUntil = cycle + lat
 				res.LLBlocks++
 				stop = true // newer instructions stall behind the blocked EX
 			case isa.ClassLoad, isa.ClassStore:
-				r := hier.AccessD(d.EffAddr, d.IsStore)
 				var extra int64
-				if !r.TLBHit {
-					extra += walk
-				}
-				if !r.L1Hit {
-					if r.L2Hit {
-						extra += l2hit
-					} else {
-						extra += l2miss
+				if !hier.AccessDWarm(d.EffAddr, d.IsStore) {
+					r := hier.AccessD(d.EffAddr, d.IsStore)
+					if !r.TLBHit {
+						extra += walk
+					}
+					if !r.L1Hit {
+						if r.L2Hit {
+							extra += l2hit
+						} else {
+							extra += l2miss
+						}
 					}
 				}
 				memCum += extra
@@ -183,10 +211,16 @@ func Simulate(tr []trace.DynInst, cfg uarch.Config) (Result, error) {
 					// stage: entered MEM at cycle+1, plus blocking time
 					// of this and earlier memory ops in the group.
 					regReady[d.Dst] = cycle + 2 + memCum
+					if cycle+2+memCum > maxRegReady {
+						maxRegReady = cycle + 2 + memCum
+					}
 				}
 			default:
 				if d.HasDst {
 					regReady[d.Dst] = cycle + 1
+					if cycle+1 > maxRegReady {
+						maxRegReady = cycle + 1
+					}
 				}
 			}
 			if fetchBlocked && d.IsBranch && d.Seq == pendingBranch {
@@ -208,32 +242,53 @@ func Simulate(tr []trace.DynInst, cfg uarch.Config) (Result, error) {
 		if admitted == 0 && depBlocked {
 			res.DepStallCycles++
 		}
+		if admitted > 0 && g.empty() {
+			emptyStages++
+		}
 
 		// --- Lockstep shift: each group advances when the next stage is
-		// empty, back to front, one stage per cycle. -----------------------
-		for i := last; i > 0; i-- {
-			if stages[i].empty() && !stages[i-1].empty() {
-				stages[i] = stages[i-1]
-				stages[i-1] = group{}
+		// empty, back to front, one stage per cycle. Swapping pointers
+		// moves bubbles without moving data; a full pipeline (no empty
+		// stage) cannot shift at all. ---------------------------------------
+		shifted := false
+		if emptyStages == 1 && last > 0 && g.empty() {
+			// Steady state: the group execute just drained is the only
+			// bubble, so every group advances — a rotation.
+			e := order[last]
+			copy(order[1:], order[:last])
+			order[0] = e
+			shifted = true
+		} else if emptyStages > 0 && emptyStages < D {
+			for i := last; i > 0; i-- {
+				if backing[order[i]].empty() && !backing[order[i-1]].empty() {
+					order[i], order[i-1] = order[i-1], order[i]
+					shifted = true
+				}
 			}
 		}
 
 		// --- Fetch into stage 0 -------------------------------------------
-		if !fetchBlocked && pos < len(tr) && cycle >= nextFetch && stages[0].empty() {
-			ng := group{}
+		fetched := false
+		if !fetchBlocked && pos < len(tr) && cycle >= nextFetch && backing[order[0]].empty() {
+			ng := &backing[order[0]]
+			ng.n, ng.head = 0, 0
 			redirected := false
 			for ng.n < W && pos < len(tr) {
 				d := &tr[pos]
-				ir := hier.AccessI(d.PC)
 				var extra int64
-				if !ir.TLBHit {
-					extra += walk
-				}
-				if !ir.L1Hit {
-					if ir.L2Hit {
-						extra += l2hit
-					} else {
-						extra += l2miss
+				if hier.IWarmHit(d.PC) {
+					warmIFetches++
+				} else {
+					ir := hier.AccessI(d.PC)
+					if !ir.TLBHit {
+						extra += walk
+					}
+					if !ir.L1Hit {
+						if ir.L2Hit {
+							extra += l2hit
+						} else {
+							extra += l2miss
+						}
 					}
 				}
 				if extra > 0 {
@@ -277,8 +332,11 @@ func Simulate(tr []trace.DynInst, cfg uarch.Config) (Result, error) {
 			if !redirected {
 				nextFetch = cycle + 1
 			}
-			stages[0] = ng
 			inFlight += ng.n
+			fetched = ng.n > 0
+			if fetched {
+				emptyStages--
+			}
 		}
 
 		// --- Advance time ---------------------------------------------------
@@ -289,11 +347,44 @@ func Simulate(tr []trace.DynInst, cfg uarch.Config) (Result, error) {
 			if !fetchBlocked && nextFetch > next {
 				next = nextFetch
 			}
+		} else if admitted == 0 && !shifted && !fetched && !backing[order[last]].empty() {
+			// Execute is blocked and the front-end is frozen: no group
+			// can move, so the machine state cannot change before the
+			// blocking condition clears (or a pending fetch fires).
+			// Jump there instead of idling cycle by cycle; the skipped
+			// cycles are exactly the dependence-stall cycles the
+			// per-cycle loop would have counted.
+			target := exBlockedUntil
+			if memFree-1 > target {
+				target = memFree - 1
+			}
+			if depBlocked {
+				// Execute and memory were clear this cycle and stay
+				// clear; the group admits when the operands arrive.
+				target = depReady
+			}
+			if !fetchBlocked && pos < len(tr) && backing[order[0]].empty() {
+				// A pending I-refill wakes the front-end first.
+				wake := nextFetch
+				if wake < next {
+					wake = next
+				}
+				if wake < target {
+					target = wake
+				}
+			}
+			if target > next {
+				if depBlocked {
+					res.DepStallCycles += target - next
+				}
+				next = target
+			}
 		}
 		cycle = next
 	}
 
 	// Drain: the last admitted group retires after memory and write-back.
+	hier.CreditIWarm(warmIFetches)
 	res.Cycles = lastAdmit + 3
 	res.Cache = hier.S
 	return res, nil

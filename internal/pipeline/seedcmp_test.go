@@ -1,0 +1,47 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/pipeline"
+	"repro/internal/pipeline/seedref"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+// TestSimulateMatchesSeed compares the optimized simulator against the
+// verbatim seed implementation across a spread of design points.
+func TestSimulateMatchesSeed(t *testing.T) {
+	for _, name := range []string{"sha", "dijkstra", "gsm_c", "mcf_like"} {
+		spec, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pw := harness.MustProfileProgram(spec.Build())
+		base := uarch.Default()
+		var cfgs []uarch.Config
+		for _, df := range uarch.DepthFreqPoints() {
+			for _, w := range []int{1, 2, 4} {
+				for _, l2kb := range []int{128, 1024} {
+					for _, pk := range []uarch.PredictorKind{uarch.PredGShare1KB, uarch.PredHybrid3_5KB} {
+						cfgs = append(cfgs, base.WithDepth(df).WithWidth(w).WithL2(l2kb, 8).WithPredictor(pk))
+					}
+				}
+			}
+		}
+		for _, cfg := range cfgs {
+			got, err := pipeline.Simulate(pw.Trace, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := seedref.Simulate(pw.Trace, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != pipeline.Result(want) {
+				t.Fatalf("%s on %s: results diverge\n got  %+v\n want %+v", name, cfg, got, want)
+			}
+		}
+	}
+}

@@ -1,10 +1,9 @@
-// Package cache implements the memory-hierarchy substrate: LRU
-// set-associative caches, a two-level hierarchy with TLBs, a
-// multi-configuration single-pass simulator, and a stack-distance
-// (all-associativity) simulator in the style of Mattson et al. and
-// Hill & Smith — the single-pass techniques the paper cites for
-// collecting cache statistics for many configurations in one run.
-package cache
+// Vendored verbatim from the seed repository's internal/cache
+// (cache.go + hierarchy.go, trace-facing collectors omitted, the
+// hierarchy Result type renamed memResult), so this reference simulator shares no code with
+// the optimized live cache package. Do not modify.
+
+package seedref
 
 import "fmt"
 
@@ -65,28 +64,13 @@ type line struct {
 
 // New builds a cache; the configuration must be valid.
 func New(cfg Config) (*Cache, error) {
-	return newWithBacking(cfg, nil)
-}
-
-// newWithBacking is New drawing the line array from backing when it is
-// large enough, so aggregates (Hierarchy) can allocate all their
-// caches' lines at once.
-func newWithBacking(cfg Config, backing []line) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	c := &Cache{cfg: cfg, sets: cfg.Sets(), blkShift: log2(cfg.BlockBytes)}
-	if n := c.sets * int64(cfg.Ways); int64(len(backing)) >= n {
-		c.lines = backing[:n:n]
-	} else {
-		c.lines = make([]line, n)
-	}
+	c.lines = make([]line, c.sets*int64(cfg.Ways))
 	return c, nil
 }
-
-// lineCount returns the number of lines a cache of this configuration
-// holds; the configuration must be valid.
-func lineCount(cfg Config) int64 { return cfg.Sets() * int64(cfg.Ways) }
 
 // MustNew is New that panics on error.
 func MustNew(cfg Config) *Cache {
@@ -242,4 +226,179 @@ func log2(v int64) uint {
 		s++
 	}
 	return s
+}
+
+// InstrBytes is the size of one instruction in instruction memory;
+// static instruction index i lives at byte address i*InstrBytes.
+const InstrBytes = 4
+
+// WordBytes is the size of one data word; data word address a lives at
+// byte address a*WordBytes.
+const WordBytes = 4
+
+// HierarchyConfig describes a two-level hierarchy with split L1 caches,
+// a unified L2 and split TLBs.
+type HierarchyConfig struct {
+	IL1, DL1, L2 Config
+	ITLBEntries  int
+	DTLBEntries  int
+	PageBytes    int64
+}
+
+// Validate checks all components.
+func (h HierarchyConfig) Validate() error {
+	for _, c := range []Config{h.IL1, h.DL1, h.L2} {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	if h.ITLBEntries <= 0 || h.DTLBEntries <= 0 {
+		return fmt.Errorf("hierarchy: non-positive TLB entries")
+	}
+	if h.PageBytes <= 0 || h.PageBytes&(h.PageBytes-1) != 0 {
+		return fmt.Errorf("hierarchy: bad page size %d", h.PageBytes)
+	}
+	return nil
+}
+
+// memResult reports the outcome of one hierarchy access.
+type memResult struct {
+	L1Hit    bool
+	L2Hit    bool // meaningful only when !L1Hit
+	TLBHit   bool
+	NewBlock bool // first touch of the L1 block since the previous fill
+}
+
+// Stats aggregates hierarchy event counts, split by reference type.
+type Stats struct {
+	IL1Accesses   int64
+	IL1Misses     int64 // L1-I misses (block fills)
+	IL2Misses     int64 // of those, also missed in L2
+	DL1Accesses   int64
+	DL1Misses     int64 // L1-D misses (loads+stores)
+	DL2Misses     int64 // of those, also missed in L2
+	DL1LoadMisses int64 // load subset of DL1Misses
+	DL2LoadMisses int64 // load subset of DL2Misses
+	ITLBMisses    int64
+	DTLBMisses    int64
+	Writebacks    int64
+}
+
+// Hierarchy simulates the full memory system.
+type Hierarchy struct {
+	Cfg  HierarchyConfig
+	IL1c *Cache
+	DL1c *Cache
+	L2c  *Cache
+	ITLB *TLB
+	DTLB *TLB
+
+	S Stats
+}
+
+// NewHierarchy builds the hierarchy.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{Cfg: cfg}
+	var err error
+	if h.IL1c, err = New(cfg.IL1); err != nil {
+		return nil, err
+	}
+	if h.DL1c, err = New(cfg.DL1); err != nil {
+		return nil, err
+	}
+	if h.L2c, err = New(cfg.L2); err != nil {
+		return nil, err
+	}
+	if h.ITLB, err = NewTLB(cfg.ITLBEntries, cfg.PageBytes); err != nil {
+		return nil, err
+	}
+	if h.DTLB, err = NewTLB(cfg.DTLBEntries, cfg.PageBytes); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// MustNewHierarchy is NewHierarchy that panics on error.
+func MustNewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// AccessI performs an instruction fetch of the instruction at static
+// index pc.
+func (h *Hierarchy) AccessI(pc int64) memResult {
+	byteAddr := pc * InstrBytes
+	var r memResult
+	r.TLBHit = h.ITLB.Access(byteAddr)
+	if !r.TLBHit {
+		h.S.ITLBMisses++
+	}
+	h.S.IL1Accesses++
+	hit, _, _ := h.IL1c.Access(byteAddr, false)
+	r.L1Hit = hit
+	if !hit {
+		h.S.IL1Misses++
+		l2hit, wb, _ := h.L2c.Access(byteAddr, false)
+		r.L2Hit = l2hit
+		if wb {
+			h.S.Writebacks++
+		}
+		if !l2hit {
+			h.S.IL2Misses++
+		}
+	}
+	return r
+}
+
+// AccessD performs a data access to word address addr.
+func (h *Hierarchy) AccessD(addr int64, write bool) memResult {
+	byteAddr := addr * WordBytes
+	var r memResult
+	r.TLBHit = h.DTLB.Access(byteAddr)
+	if !r.TLBHit {
+		h.S.DTLBMisses++
+	}
+	h.S.DL1Accesses++
+	hit, wb1, victim := h.DL1c.Access(byteAddr, write)
+	if wb1 {
+		// Dirty L1 victim written back into its own L2 line.
+		if _, wb2, _ := h.L2c.Access(victim, true); wb2 {
+			h.S.Writebacks++
+		}
+	}
+	r.L1Hit = hit
+	if !hit {
+		h.S.DL1Misses++
+		if !write {
+			h.S.DL1LoadMisses++
+		}
+		l2hit, wb, _ := h.L2c.Access(byteAddr, write)
+		r.L2Hit = l2hit
+		if wb {
+			h.S.Writebacks++
+		}
+		if !l2hit {
+			h.S.DL2Misses++
+			if !write {
+				h.S.DL2LoadMisses++
+			}
+		}
+	}
+	return r
+}
+
+// Reset clears contents and statistics.
+func (h *Hierarchy) Reset() {
+	h.IL1c.Reset()
+	h.DL1c.Reset()
+	h.L2c.Reset()
+	h.ITLB.Reset()
+	h.DTLB.Reset()
+	h.S = Stats{}
 }

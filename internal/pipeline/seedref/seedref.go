@@ -1,0 +1,296 @@
+// Package seedref is the seed repository's pipeline simulator, kept
+// verbatim (modulo the package clause) as the bit-exactness reference
+// for differential tests of the optimized internal/pipeline: every
+// Simulate change must reproduce this implementation's Result exactly
+// (see internal/pipeline/seedcmp_test.go). Do not optimize or
+// otherwise modify this copy.
+package seedref
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+)
+
+// Result reports one detailed simulation.
+type Result struct {
+	Cycles       int64
+	Instructions int64
+
+	// Event counts observed by the simulator (for cross-checking the
+	// profiling collectors).
+	Mispredicts    int64
+	TakenBubbles   int64
+	Cache          cache.Stats
+	LLBlocks       int64 // mul/div issued
+	DepStallCycles int64 // cycles execute admitted nothing due to operand wait
+}
+
+// CPI returns cycles per instruction.
+func (r Result) CPI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Instructions)
+}
+
+// maxWidth bounds the group arrays; uarch.Config.Validate enforces it.
+const maxWidth = 8
+
+// group is one fetch group flowing through the front-end stages.
+type group struct {
+	idx  [maxWidth]int // trace indices
+	n    int           // valid entries
+	head int           // first un-admitted entry
+}
+
+func (g *group) empty() bool { return g.head >= g.n }
+
+// Simulate replays tr on the design point cfg.
+func Simulate(tr []trace.DynInst, cfg uarch.Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	var res Result
+	res.Instructions = int64(len(tr))
+	if len(tr) == 0 {
+		return res, nil
+	}
+
+	hier, err := NewHierarchy(fromLiveHier(cfg.Hier))
+	if err != nil {
+		return Result{}, err
+	}
+	pred := cfg.Predictor.New()
+
+	W := cfg.Width
+	D := cfg.FrontEndDepth
+	l2hit := int64(cfg.L2HitCycles())
+	l2miss := int64(cfg.L2MissCycles())
+	walk := int64(cfg.TLBWalkCycles())
+	mulLat := int64(cfg.MulLatency)
+	divLat := int64(cfg.DivLatency)
+
+	// stages[0] is the fetch stage; stages[D-1] feeds execute.
+	stages := make([]group, D)
+	last := D - 1
+
+	var regReady [isa.NumRegs]int64
+	var (
+		cycle          int64
+		exBlockedUntil int64 // execute cannot accept before this cycle
+		memFree        int64 // memory stage can accept a new group at this cycle
+		nextFetch      int64
+		fetchBlocked   bool  // stalled on an unresolved mispredicted branch
+		pendingBranch  int64 // Seq of the mispredicted branch being waited on
+		pos            int   // next trace index to fetch
+		lastAdmit      int64
+		inFlight       int // instructions currently in the front-end
+	)
+
+	for pos < len(tr) || inFlight > 0 {
+		// --- Execute admission from the last front-end stage -------------
+		admitted := 0
+		var memCum int64 // cumulative extra memory-stage cycles this group
+		groupHasMem := false
+		depBlocked := false
+		g := &stages[last]
+		for admitted < W && !g.empty() {
+			if cycle < exBlockedUntil {
+				break
+			}
+			if memFree > cycle+1 {
+				break // memory stage blocked; execute cannot drain
+			}
+			d := &tr[g.idx[g.head]]
+			srcOK := true
+			for i := 0; i < d.NumSrc; i++ {
+				if regReady[d.Src[i]] > cycle {
+					srcOK = false
+					break
+				}
+			}
+			if !srcOK {
+				depBlocked = true
+				break
+			}
+
+			// Admit.
+			g.head++
+			inFlight--
+			admitted++
+			lastAdmit = cycle
+			stop := false
+
+			switch d.Class {
+			case isa.ClassMul, isa.ClassDiv:
+				lat := mulLat
+				if d.Class == isa.ClassDiv {
+					lat = divLat
+				}
+				if d.HasDst {
+					regReady[d.Dst] = cycle + lat
+				}
+				exBlockedUntil = cycle + lat
+				res.LLBlocks++
+				stop = true // newer instructions stall behind the blocked EX
+			case isa.ClassLoad, isa.ClassStore:
+				r := hier.AccessD(d.EffAddr, d.IsStore)
+				var extra int64
+				if !r.TLBHit {
+					extra += walk
+				}
+				if !r.L1Hit {
+					if r.L2Hit {
+						extra += l2hit
+					} else {
+						extra += l2miss
+					}
+				}
+				memCum += extra
+				groupHasMem = true
+				if d.IsLoad && d.HasDst {
+					// Load value forwarded when it leaves the memory
+					// stage: entered MEM at cycle+1, plus blocking time
+					// of this and earlier memory ops in the group.
+					regReady[d.Dst] = cycle + 2 + memCum
+				}
+			default:
+				if d.HasDst {
+					regReady[d.Dst] = cycle + 1
+				}
+			}
+			if fetchBlocked && d.IsBranch && d.Seq == pendingBranch {
+				// Mispredicted branch resolves at the end of this cycle.
+				fetchBlocked = false
+				if nextFetch < cycle+1 {
+					nextFetch = cycle + 1
+				}
+			}
+			if stop {
+				break
+			}
+		}
+		if admitted > 0 && groupHasMem {
+			// The group occupies the memory stage during [cycle+1,
+			// cycle+1+memCum]; the next group may enter afterwards.
+			memFree = cycle + 2 + memCum
+		}
+		if admitted == 0 && depBlocked {
+			res.DepStallCycles++
+		}
+
+		// --- Lockstep shift: each group advances when the next stage is
+		// empty, back to front, one stage per cycle. -----------------------
+		for i := last; i > 0; i-- {
+			if stages[i].empty() && !stages[i-1].empty() {
+				stages[i] = stages[i-1]
+				stages[i-1] = group{}
+			}
+		}
+
+		// --- Fetch into stage 0 -------------------------------------------
+		if !fetchBlocked && pos < len(tr) && cycle >= nextFetch && stages[0].empty() {
+			ng := group{}
+			redirected := false
+			for ng.n < W && pos < len(tr) {
+				d := &tr[pos]
+				ir := hier.AccessI(d.PC)
+				var extra int64
+				if !ir.TLBHit {
+					extra += walk
+				}
+				if !ir.L1Hit {
+					if ir.L2Hit {
+						extra += l2hit
+					} else {
+						extra += l2miss
+					}
+				}
+				if extra > 0 {
+					// The missing block arrives `extra` cycles from now;
+					// fetch resumes there (instructions already fetched
+					// this cycle are hidden underneath the miss).
+					nextFetch = cycle + extra
+					redirected = true
+					break
+				}
+				ng.idx[ng.n] = pos
+				ng.n++
+				pos++
+
+				if d.IsJump {
+					// Unconditional transfer: redirect known one cycle
+					// after fetch — one bubble, group ends here.
+					res.TakenBubbles++
+					nextFetch = cycle + 2
+					redirected = true
+					break
+				}
+				if d.IsBranch {
+					p := pred.Predict(d.PC)
+					pred.Update(d.PC, d.Taken)
+					if p != d.Taken {
+						res.Mispredicts++
+						fetchBlocked = true
+						pendingBranch = d.Seq
+						redirected = true
+						break
+					}
+					if d.Taken {
+						res.TakenBubbles++
+						nextFetch = cycle + 2
+						redirected = true
+						break
+					}
+				}
+			}
+			if !redirected {
+				nextFetch = cycle + 1
+			}
+			stages[0] = ng
+			inFlight += ng.n
+		}
+
+		// --- Advance time ---------------------------------------------------
+		next := cycle + 1
+		if inFlight == 0 && pos < len(tr) {
+			// Empty pipeline waiting on fetch (I-miss or mispredict
+			// resolution already recorded in nextFetch).
+			if !fetchBlocked && nextFetch > next {
+				next = nextFetch
+			}
+		}
+		cycle = next
+	}
+
+	// Drain: the last admitted group retires after memory and write-back.
+	res.Cycles = lastAdmit + 3
+	res.Cache = cache.Stats(hier.S)
+	return res, nil
+}
+
+// SimulateProgramTrace validates the trace is non-empty and runs
+// Simulate.
+func SimulateProgramTrace(tr []trace.DynInst, cfg uarch.Config) (Result, error) {
+	if len(tr) == 0 {
+		return Result{}, fmt.Errorf("pipeline: empty trace")
+	}
+	return Simulate(tr, cfg)
+}
+
+// fromLiveHier converts the live cache package's hierarchy
+// configuration into the vendored seed types.
+func fromLiveHier(h cache.HierarchyConfig) HierarchyConfig {
+	return HierarchyConfig{
+		IL1:         Config(h.IL1),
+		DL1:         Config(h.DL1),
+		L2:          Config(h.L2),
+		ITLBEntries: h.ITLBEntries,
+		DTLBEntries: h.DTLBEntries,
+		PageBytes:   h.PageBytes,
+	}
+}

@@ -67,7 +67,7 @@ type Profile struct {
 
 	N       int64                 // dynamic instruction count
 	ByClass [isa.NumClasses]int64 // dynamic count per class
-	ByOp    map[isa.Op]int64      // dynamic count per opcode
+	ByOp    [isa.NumOps]int64     // dynamic count per opcode, indexed by isa.Op
 	NMul    int64                 // multiply count (long latency)
 	NDiv    int64                 // divide/remainder count (long latency)
 	NLoad   int64
@@ -107,7 +107,6 @@ const (
 func NewCollector(name string) *Collector {
 	c := &Collector{}
 	c.P.Name = name
-	c.P.ByOp = make(map[isa.Op]int64)
 	for i := range c.lastWriter {
 		c.lastWriter[i] = -1
 	}

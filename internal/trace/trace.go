@@ -61,6 +61,17 @@ type Recorder struct {
 // Consume appends a copy of d.
 func (r *Recorder) Consume(d *DynInst) { r.Insts = append(r.Insts, *d) }
 
+// Reserve ensures capacity for n more instructions, so a caller that
+// knows the trace length up front avoids every growth copy of the
+// append path.
+func (r *Recorder) Reserve(n int64) {
+	if need := len(r.Insts) + int(n); need > cap(r.Insts) {
+		grown := make([]DynInst, len(r.Insts), need)
+		copy(grown, r.Insts)
+		r.Insts = grown
+	}
+}
+
 // Counter counts dynamic instructions by class.
 type Counter struct {
 	Total   int64

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# bench.sh — run the figure-level benchmark suite once and record the
+# per-figure wall time and headline metrics as a JSON baseline.
+#
+# Usage:
+#   scripts/bench.sh [N]
+#
+# Writes BENCH_<N>.json (default N=1) at the repository root, seeding
+# the performance trajectory: successive PRs append BENCH_2.json,
+# BENCH_3.json, ... and compare against earlier baselines.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+n="${1:-1}"
+out="BENCH_${n}.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "running benchmark suite (one iteration per figure)..." >&2
+go test -run '^$' -bench . -benchtime=1x . | tee "$raw" >&2
+
+python3 - "$raw" "$out" <<'EOF'
+import json, re, sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+benches = {}
+line_re = re.compile(r'^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(\d+(?:\.\d+)?) ns/op(.*)$')
+for line in open(raw_path):
+    m = line_re.match(line.strip())
+    if not m:
+        continue
+    name, iters, ns, rest = m.group(1), int(m.group(2)), float(m.group(3)), m.group(4)
+    metrics = {}
+    for val, unit in re.findall(r'([\d.e+-]+) ([\w/%-]+)', rest):
+        metrics[unit] = float(val)
+    benches[name] = {
+        "iterations": iters,
+        "wall_seconds": ns / 1e9,
+        "metrics": metrics,
+    }
+
+with open(out_path, "w") as f:
+    json.dump({"suite": "go test -bench=. -benchtime=1x", "benchmarks": benches}, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path} with {len(benches)} benchmarks", file=sys.stderr)
+EOF
