@@ -13,13 +13,16 @@ package repro_test
 
 import (
 	"testing"
+	"unsafe"
 
 	"repro/internal/core"
 	"repro/internal/dse"
 	"repro/internal/experiments"
+	"repro/internal/funcsim"
 	"repro/internal/harness"
 	"repro/internal/pipeline"
 	"repro/internal/power"
+	"repro/internal/trace"
 	"repro/internal/uarch"
 	"repro/internal/workloads"
 )
@@ -171,6 +174,33 @@ func profiledFor(b *testing.B, name string) *harness.Profiled {
 	return pw
 }
 
+// BenchmarkTraceRecording measures recording a workload's dynamic
+// trace into the chunked columnar store, and reports the encoding
+// density: bytes per recorded instruction and the compaction factor
+// over the legacy []trace.DynInst array-of-structs layout. Run with
+// -benchmem so B/op and allocs/op land in the BENCH_N.json baseline —
+// trace-memory regressions show up there.
+func BenchmarkTraceRecording(b *testing.B) {
+	spec, err := workloads.ByName("gsm_c")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := spec.Build()
+	var tr *trace.Trace
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb := trace.NewBuilder()
+		if _, err := funcsim.RunProgram(p, tb); err != nil {
+			b.Fatal(err)
+		}
+		tr = tb.Trace()
+	}
+	b.SetBytes(tr.Len())
+	aosBytes := tr.Len() * int64(unsafe.Sizeof(trace.DynInst{}))
+	b.ReportMetric(float64(tr.SizeBytes())/float64(tr.Len()), "bytes/inst")
+	b.ReportMetric(float64(aosBytes)/float64(tr.SizeBytes()), "compaction-x")
+}
+
 // BenchmarkProfiling measures the one-time per-binary profiling cost.
 func BenchmarkProfiling(b *testing.B) {
 	spec, _ := workloads.ByName("gsm_c")
@@ -211,7 +241,7 @@ func BenchmarkMachineStats(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.SetBytes(int64(len(pw.Trace)))
+	b.SetBytes(pw.Trace.Len())
 }
 
 // BenchmarkMultiMachineStats measures the single-pass collection of
@@ -226,7 +256,7 @@ func BenchmarkMultiMachineStats(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.SetBytes(int64(len(pw.Trace)))
+	b.SetBytes(pw.Trace.Len())
 }
 
 // BenchmarkDetailedSimulation measures one cycle-accurate run — what
@@ -240,7 +270,7 @@ func BenchmarkDetailedSimulation(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.SetBytes(int64(len(pw.Trace)))
+	b.SetBytes(pw.Trace.Len())
 }
 
 // BenchmarkModelDesignSpace measures the model across all 192 points

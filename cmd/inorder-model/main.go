@@ -9,6 +9,7 @@
 //	inorder-model -bench sha
 //	inorder-model -bench dijkstra -width 2 -stages 5 -l2kb 256 -pred hybrid -validate
 //	inorder-model -bench sha,dijkstra,gsm_c -validate -workers 4
+//	inorder-model -bench sha -dyninsts 5000000
 //	inorder-model -list
 package main
 
@@ -18,6 +19,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/core"
@@ -38,6 +40,7 @@ func main() {
 		l2kb     = flag.Int("l2kb", 512, "L2 size in KB (128, 256, 512, 1024)")
 		l2ways   = flag.Int("l2ways", 8, "L2 associativity (8 or 16)")
 		predName = flag.String("pred", "gshare", "branch predictor: gshare or hybrid")
+		dyninsts = flag.Int64("dyninsts", 0, "minimum dynamic instructions per benchmark: the workload is re-run until its recorded trace reaches this count (0 = one run)")
 		validate = flag.Bool("validate", false, "also run the detailed cycle-accurate simulator")
 		workers  = flag.Int("workers", 0, "worker goroutines for multi-benchmark runs (0 = GOMAXPROCS)")
 		list     = flag.Bool("list", false, "list benchmarks and exit")
@@ -76,20 +79,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	names := strings.Split(*bench, ",")
-	specs := make([]workloads.Spec, len(names))
-	for i, name := range names {
-		spec, err := workloads.ByName(strings.TrimSpace(name))
-		if err != nil {
-			log.Fatal(err)
-		}
-		specs[i] = spec
-	}
+	specs := resolveBenchList(*bench)
 
 	if len(specs) == 1 {
 		// Single benchmark: stream directly so "profiling ..." shows
 		// progress before the (potentially long) run completes.
-		if err := report(os.Stdout, specs[0], cfg, *validate); err != nil {
+		if err := report(os.Stdout, specs[0], cfg, *validate, *dyninsts); err != nil {
 			log.Fatal(err)
 		}
 		_ = os.Stdout.Sync()
@@ -97,7 +92,7 @@ func main() {
 	}
 	reports := make([]strings.Builder, len(specs))
 	err := par.ForEach(*workers, len(specs), func(i int) error {
-		if err := report(&reports[i], specs[i], cfg, *validate); err != nil {
+		if err := report(&reports[i], specs[i], cfg, *validate, *dyninsts); err != nil {
 			return fmt.Errorf("%s: %w", specs[i].Name, err)
 		}
 		return nil
@@ -111,9 +106,54 @@ func main() {
 	_ = os.Stdout.Sync()
 }
 
-func report(w io.Writer, spec workloads.Spec, cfg uarch.Config, validate bool) error {
+// resolveBenchList validates and dedupes the comma-separated -bench
+// list, preserving first-occurrence order. On an unknown name it
+// prints the available workloads grouped by domain and exits.
+func resolveBenchList(bench string) []workloads.Spec {
+	seen := make(map[string]bool)
+	var specs []workloads.Spec
+	for _, name := range strings.Split(bench, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" || seen[name] {
+			continue
+		}
+		seen[name] = true
+		spec, err := workloads.ByName(name)
+		if err != nil {
+			log.Printf("unknown benchmark %q; available workloads by domain:", name)
+			printWorkloadsByDomain(os.Stderr)
+			os.Exit(1)
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		log.Fatal("no benchmarks given (-bench expects a name or comma-separated list; see -list)")
+	}
+	return specs
+}
+
+// printWorkloadsByDomain writes every workload name grouped by its
+// application domain.
+func printWorkloadsByDomain(w io.Writer) {
+	byDomain := make(map[string][]string)
+	for _, s := range workloads.All() {
+		byDomain[s.Domain] = append(byDomain[s.Domain], s.Name)
+	}
+	domains := make([]string, 0, len(byDomain))
+	for d := range byDomain {
+		domains = append(domains, d)
+	}
+	sort.Strings(domains)
+	for _, d := range domains {
+		names := byDomain[d]
+		sort.Strings(names)
+		fmt.Fprintf(w, "  %-10s %s\n", d, strings.Join(names, " "))
+	}
+}
+
+func report(w io.Writer, spec workloads.Spec, cfg uarch.Config, validate bool, dyninsts int64) error {
 	fmt.Fprintf(w, "profiling %s ...\n", spec.Name)
-	pw, err := harness.ProfileProgram(spec.Build())
+	pw, err := harness.ProfileProgramScaled(spec.Build(), dyninsts)
 	if err != nil {
 		return err
 	}

@@ -438,9 +438,7 @@ func Fig7() (*Fig7Result, error) {
 		if err != nil {
 			return err
 		}
-		for j := range pw.Trace {
-			col.Consume(&pw.Trace[j])
-		}
+		pw.Trace.Replay(col)
 		ooStack, err := ooo.Predict(pw.Prof.N, col.Result(), ooCfg)
 		if err != nil {
 			return err

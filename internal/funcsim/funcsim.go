@@ -67,27 +67,16 @@ func MustNew(p *program.Program) *Machine {
 }
 
 // Run executes until HALT, streaming every retired instruction to sink
-// (which may be nil to execute without observation). It returns the
-// number of dynamically executed instructions (HALT itself is not
-// counted or streamed: it never enters the modeled pipeline's trace).
+// (which may be nil to execute without observation; a *trace.Builder
+// sink records the run into the columnar store). It returns the number
+// of dynamically executed instructions (HALT itself is not counted or
+// streamed: it never enters the modeled pipeline's trace).
 func (m *Machine) Run(sink trace.Consumer) (int64, error) {
-	return m.run(nil, sink)
-}
-
-// RunRecorded executes like Run but builds each retired instruction
-// directly in rec's buffer (reserve capacity first to avoid growth),
-// saving the per-instruction record copy a Recorder sink would make.
-// sink, which may be nil, additionally observes every record.
-func (m *Machine) RunRecorded(rec *trace.Recorder, sink trace.Consumer) (int64, error) {
-	return m.run(rec, sink)
-}
-
-func (m *Machine) run(rec *trace.Recorder, sink trace.Consumer) (int64, error) {
 	maxN := m.MaxInstructions
 	if maxN <= 0 {
 		maxN = DefaultMaxInstructions
 	}
-	record := rec != nil || sink != nil
+	record := sink != nil
 	var local trace.DynInst
 	d := &local
 	memLen := int64(len(m.Mem))
@@ -106,17 +95,8 @@ func (m *Machine) run(rec *trace.Recorder, sink trace.Consumer) (int64, error) {
 
 		nextPC := m.PC + 1
 		if record {
-			// Unobserved runs (sizing passes) skip the record build;
-			// stale fields are never read.
-			if rec != nil {
-				n := len(rec.Insts)
-				if n < cap(rec.Insts) {
-					rec.Insts = rec.Insts[:n+1]
-				} else {
-					rec.Insts = append(rec.Insts, trace.DynInst{})
-				}
-				d = &rec.Insts[n]
-			}
+			// Unobserved runs skip the record build; stale fields are
+			// never read.
 			*d = trace.DynInst{
 				Seq:   m.Retired,
 				PC:    m.PC,

@@ -26,34 +26,59 @@ import (
 // replayed for every design point of interest.
 type Profiled struct {
 	Name  string
-	Trace []trace.DynInst
+	Trace *trace.Trace
 	Prof  *profile.Profile
 }
 
-// ProfileProgram runs p once, recording the trace and the profile. A
-// preliminary unobserved run counts the dynamic instructions so the
-// trace buffer is allocated exactly once: the interpreter is far
-// cheaper than the repeated growth copies it replaces.
+// ProfileProgram runs p once, recording the trace and the profile in a
+// single pass: the chunked trace builder appends without growth
+// copies, so no sizing pre-pass (and no second execution) is needed.
 func ProfileProgram(p *program.Program) (*Profiled, error) {
-	n0, err := funcsim.RunProgram(p, nil)
-	if err != nil {
-		return nil, fmt.Errorf("harness: sizing %q: %w", p.Name, err)
-	}
-	rec := &trace.Recorder{}
-	rec.Reserve(n0)
+	return ProfileProgramScaled(p, 0)
+}
+
+// ProfileProgramScaled is ProfileProgram with a dynamic-instruction
+// floor: the program is re-executed (fresh machine state, same binary)
+// until at least minDyn instructions have been recorded, appending
+// every run to one trace and one profile as if it were a single long
+// execution. minDyn ≤ 0 means one run. This is the -dyninsts scaling
+// knob: the columnar store keeps 10×+ workloads affordable.
+func ProfileProgramScaled(p *program.Program, minDyn int64) (*Profiled, error) {
+	b := trace.NewBuilder()
 	col := profile.NewCollector(p.Name)
-	m, err := funcsim.New(p)
-	if err != nil {
-		return nil, fmt.Errorf("harness: profiling %q: %w", p.Name, err)
+	var total int64
+	for {
+		m, err := funcsim.New(p)
+		if err != nil {
+			return nil, fmt.Errorf("harness: profiling %q: %w", p.Name, err)
+		}
+		var sink trace.Consumer
+		if total == 0 {
+			sink = trace.Tee{b, col}
+		} else {
+			// Repeat runs restart the machine's Seq at 0; shift it to
+			// the global position so the profile's dependency
+			// distances see one continuous stream (the builder derives
+			// Seq from position and is unaffected).
+			base := total
+			sink = trace.Tee{b, trace.ConsumerFunc(func(d *trace.DynInst) {
+				d.Seq += base
+				col.Consume(d)
+			})}
+		}
+		n, err := m.Run(sink)
+		if err != nil {
+			return nil, fmt.Errorf("harness: profiling %q: %w", p.Name, err)
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("harness: program %q executed zero instructions", p.Name)
+		}
+		total += n
+		if total >= minDyn {
+			break
+		}
 	}
-	n, err := m.RunRecorded(rec, col)
-	if err != nil {
-		return nil, fmt.Errorf("harness: profiling %q: %w", p.Name, err)
-	}
-	if n == 0 {
-		return nil, fmt.Errorf("harness: program %q executed zero instructions", p.Name)
-	}
-	return &Profiled{Name: p.Name, Trace: rec.Insts, Prof: col.Result()}, nil
+	return &Profiled{Name: p.Name, Trace: b.Trace(), Prof: col.Result()}, nil
 }
 
 // MustProfileProgram is ProfileProgram that panics on error.
@@ -68,7 +93,7 @@ func MustProfileProgram(p *program.Program) *Profiled {
 // MachineStats replays the trace through the cache hierarchy and
 // branch predictor of cfg, producing the mixed program/machine inputs
 // of the model.
-func MachineStats(tr []trace.DynInst, cfg uarch.Config) (cache.Stats, branch.Stats, error) {
+func MachineStats(tr *trace.Trace, cfg uarch.Config) (cache.Stats, branch.Stats, error) {
 	h, err := cache.NewHierarchy(cfg.Hier)
 	if err != nil {
 		return cache.Stats{}, branch.Stats{}, err
@@ -76,11 +101,7 @@ func MachineStats(tr []trace.DynInst, cfg uarch.Config) (cache.Stats, branch.Sta
 	cc := cache.NewCollector(h)
 	bc := branch.NewCollector(cfg.Predictor.New())
 	replays.Add(1)
-	for i := range tr {
-		d := &tr[i]
-		cc.Consume(d)
-		bc.Consume(d)
-	}
+	tr.Replay(trace.Tee{cc, bc})
 	return cc.Stats(), bc.S, nil
 }
 

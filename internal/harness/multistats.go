@@ -54,7 +54,7 @@ type MultiStats struct {
 // CollectMultiStats collects machine statistics for every
 // configuration in cfgs in one pass over tr. The returned MultiStats
 // is immutable and safe for concurrent use.
-func CollectMultiStats(tr []trace.DynInst, cfgs []uarch.Config) (*MultiStats, error) {
+func CollectMultiStats(tr *trace.Trace, cfgs []uarch.Config) (*MultiStats, error) {
 	m := &MultiStats{
 		cacheStats:  make(map[cache.HierarchyConfig]cache.Stats),
 		branchStats: make(map[uarch.PredictorKind]branch.Stats),
@@ -100,9 +100,7 @@ func CollectMultiStats(tr []trace.DynInst, cfgs []uarch.Config) (*MultiStats, er
 	}
 
 	replays.Add(1)
-	for i := range tr {
-		consumers.Consume(&tr[i])
-	}
+	tr.Replay(consumers)
 
 	for _, h := range hiers {
 		cs, err := engines[frontOf(h)].StatsFor(h.L2)

@@ -168,9 +168,7 @@ func TestOoOFasterThanInOrderOnRealWorkloads(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for i := range pw.Trace {
-			col.Consume(&pw.Trace[i])
-		}
+		pw.Trace.Replay(col)
 		ooStack, err := Predict(pw.Prof.N, col.Result(), ooCfg)
 		if err != nil {
 			t.Fatal(err)

@@ -68,23 +68,28 @@ const maxWidth = 8
 
 // group is one fetch group flowing through the front-end stages.
 type group struct {
-	idx  [maxWidth]int // trace indices
-	n    int           // valid entries
-	head int           // first un-admitted entry
+	idx  [maxWidth]int64 // trace indices (= dynamic sequence numbers)
+	n    int             // valid entries
+	head int             // first un-admitted entry
 }
 
 func (g *group) empty() bool { return g.head >= g.n }
 
-// Simulate replays tr on the design point cfg.
-func Simulate(tr []trace.DynInst, cfg uarch.Config) (Result, error) {
+// Simulate replays tr on the design point cfg. The inner loops read
+// the trace's columns directly — flags, classes, registers, PCs and
+// effective addresses are contiguous per chunk — instead of decoding
+// DynInst records, so the replay streams compact arrays.
+func Simulate(tr *trace.Trace, cfg uarch.Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
 	var res Result
-	res.Instructions = int64(len(tr))
-	if len(tr) == 0 {
+	n := tr.Len()
+	res.Instructions = n
+	if n == 0 {
 		return res, nil
 	}
+	cols := tr.Chunks()
 
 	hier, err := cache.NewHierarchy(cfg.Hier)
 	if err != nil {
@@ -119,8 +124,8 @@ func Simulate(tr []trace.DynInst, cfg uarch.Config) (Result, error) {
 		memFree        int64 // memory stage can accept a new group at this cycle
 		nextFetch      int64
 		fetchBlocked   bool  // stalled on an unresolved mispredicted branch
-		pendingBranch  int64 // Seq of the mispredicted branch being waited on
-		pos            int   // next trace index to fetch
+		pendingBranch  int64 // trace index of the mispredicted branch being waited on
+		pos            int64 // next trace index to fetch
 		lastAdmit      int64
 		inFlight       int   // instructions currently in the front-end
 		emptyStages    = D   // stages currently holding no instructions
@@ -128,7 +133,7 @@ func Simulate(tr []trace.DynInst, cfg uarch.Config) (Result, error) {
 		warmIFetches   int64 // batched same-block I-fetch hits (IWarmHit)
 	)
 
-	for pos < len(tr) || inFlight > 0 {
+	for pos < n || inFlight > 0 {
 		// --- Execute admission from the last front-end stage -------------
 		admitted := 0
 		var memCum int64 // cumulative extra memory-stage cycles this group
@@ -140,20 +145,23 @@ func Simulate(tr []trace.DynInst, cfg uarch.Config) (Result, error) {
 		// invariants: exBlockedUntil only moves on a mul/div admission,
 		// which ends the loop, and memFree only moves after it.
 		for cycle >= exBlockedUntil && memFree <= cycle+1 && admitted < W && !g.empty() {
-			d := &tr[g.idx[g.head]]
+			idx := g.idx[g.head]
+			ck := &cols[idx>>trace.ChunkShift]
+			j := int(idx & trace.ChunkMask)
+			fl := ck.Flags[j]
 			srcOK := true
 			if maxRegReady > cycle {
 				// Some register is still being produced; check this
 				// instruction's sources (at most two).
-				if d.NumSrc > 0 {
-					if r := regReady[d.Src[0]]; r > cycle {
+				if numSrc := fl >> trace.NumSrcShift; numSrc > 0 {
+					if r := regReady[ck.Src1[j]]; r > cycle {
 						srcOK = false
 						if r > depReady {
 							depReady = r
 						}
 					}
-					if d.NumSrc > 1 {
-						if r := regReady[d.Src[1]]; r > cycle {
+					if numSrc > 1 {
+						if r := regReady[ck.Src2[j]]; r > cycle {
 							srcOK = false
 							if r > depReady {
 								depReady = r
@@ -174,14 +182,14 @@ func Simulate(tr []trace.DynInst, cfg uarch.Config) (Result, error) {
 			lastAdmit = cycle
 			stop := false
 
-			switch d.Class {
+			switch class := ck.Class[j]; class {
 			case isa.ClassMul, isa.ClassDiv:
 				lat := mulLat
-				if d.Class == isa.ClassDiv {
+				if class == isa.ClassDiv {
 					lat = divLat
 				}
-				if d.HasDst {
-					regReady[d.Dst] = cycle + lat
+				if fl&trace.FlagHasDst != 0 {
+					regReady[ck.Dst[j]] = cycle + lat
 					if cycle+lat > maxRegReady {
 						maxRegReady = cycle + lat
 					}
@@ -191,8 +199,10 @@ func Simulate(tr []trace.DynInst, cfg uarch.Config) (Result, error) {
 				stop = true // newer instructions stall behind the blocked EX
 			case isa.ClassLoad, isa.ClassStore:
 				var extra int64
-				if !hier.AccessDWarm(d.EffAddr, d.IsStore) {
-					r := hier.AccessD(d.EffAddr, d.IsStore)
+				eff := ck.EffAddr[j]
+				isStore := fl&trace.FlagStore != 0
+				if !hier.AccessDWarm(eff, isStore) {
+					r := hier.AccessD(eff, isStore)
 					if !r.TLBHit {
 						extra += walk
 					}
@@ -206,24 +216,24 @@ func Simulate(tr []trace.DynInst, cfg uarch.Config) (Result, error) {
 				}
 				memCum += extra
 				groupHasMem = true
-				if d.IsLoad && d.HasDst {
+				if fl&(trace.FlagLoad|trace.FlagHasDst) == trace.FlagLoad|trace.FlagHasDst {
 					// Load value forwarded when it leaves the memory
 					// stage: entered MEM at cycle+1, plus blocking time
 					// of this and earlier memory ops in the group.
-					regReady[d.Dst] = cycle + 2 + memCum
+					regReady[ck.Dst[j]] = cycle + 2 + memCum
 					if cycle+2+memCum > maxRegReady {
 						maxRegReady = cycle + 2 + memCum
 					}
 				}
 			default:
-				if d.HasDst {
-					regReady[d.Dst] = cycle + 1
+				if fl&trace.FlagHasDst != 0 {
+					regReady[ck.Dst[j]] = cycle + 1
 					if cycle+1 > maxRegReady {
 						maxRegReady = cycle + 1
 					}
 				}
 			}
-			if fetchBlocked && d.IsBranch && d.Seq == pendingBranch {
+			if fetchBlocked && fl&trace.FlagBranch != 0 && idx == pendingBranch {
 				// Mispredicted branch resolves at the end of this cycle.
 				fetchBlocked = false
 				if nextFetch < cycle+1 {
@@ -269,17 +279,20 @@ func Simulate(tr []trace.DynInst, cfg uarch.Config) (Result, error) {
 
 		// --- Fetch into stage 0 -------------------------------------------
 		fetched := false
-		if !fetchBlocked && pos < len(tr) && cycle >= nextFetch && backing[order[0]].empty() {
+		if !fetchBlocked && pos < n && cycle >= nextFetch && backing[order[0]].empty() {
 			ng := &backing[order[0]]
 			ng.n, ng.head = 0, 0
 			redirected := false
-			for ng.n < W && pos < len(tr) {
-				d := &tr[pos]
+			for ng.n < W && pos < n {
+				ck := &cols[pos>>trace.ChunkShift]
+				j := int(pos & trace.ChunkMask)
+				pc := int64(ck.PC[j])
+				fl := ck.Flags[j]
 				var extra int64
-				if hier.IWarmHit(d.PC) {
+				if hier.IWarmHit(pc) {
 					warmIFetches++
 				} else {
-					ir := hier.AccessI(d.PC)
+					ir := hier.AccessI(pc)
 					if !ir.TLBHit {
 						extra += walk
 					}
@@ -303,7 +316,7 @@ func Simulate(tr []trace.DynInst, cfg uarch.Config) (Result, error) {
 				ng.n++
 				pos++
 
-				if d.IsJump {
+				if fl&trace.FlagJump != 0 {
 					// Unconditional transfer: redirect known one cycle
 					// after fetch — one bubble, group ends here.
 					res.TakenBubbles++
@@ -311,17 +324,18 @@ func Simulate(tr []trace.DynInst, cfg uarch.Config) (Result, error) {
 					redirected = true
 					break
 				}
-				if d.IsBranch {
-					p := pred.Predict(d.PC)
-					pred.Update(d.PC, d.Taken)
-					if p != d.Taken {
+				if fl&trace.FlagBranch != 0 {
+					taken := fl&trace.FlagTaken != 0
+					p := pred.Predict(pc)
+					pred.Update(pc, taken)
+					if p != taken {
 						res.Mispredicts++
 						fetchBlocked = true
-						pendingBranch = d.Seq
+						pendingBranch = pos - 1
 						redirected = true
 						break
 					}
-					if d.Taken {
+					if taken {
 						res.TakenBubbles++
 						nextFetch = cycle + 2
 						redirected = true
@@ -341,7 +355,7 @@ func Simulate(tr []trace.DynInst, cfg uarch.Config) (Result, error) {
 
 		// --- Advance time ---------------------------------------------------
 		next := cycle + 1
-		if inFlight == 0 && pos < len(tr) {
+		if inFlight == 0 && pos < n {
 			// Empty pipeline waiting on fetch (I-miss or mispredict
 			// resolution already recorded in nextFetch).
 			if !fetchBlocked && nextFetch > next {
@@ -363,7 +377,7 @@ func Simulate(tr []trace.DynInst, cfg uarch.Config) (Result, error) {
 				// clear; the group admits when the operands arrive.
 				target = depReady
 			}
-			if !fetchBlocked && pos < len(tr) && backing[order[0]].empty() {
+			if !fetchBlocked && pos < n && backing[order[0]].empty() {
 				// A pending I-refill wakes the front-end first.
 				wake := nextFetch
 				if wake < next {
@@ -392,8 +406,8 @@ func Simulate(tr []trace.DynInst, cfg uarch.Config) (Result, error) {
 
 // SimulateProgramTrace validates the trace is non-empty and runs
 // Simulate.
-func SimulateProgramTrace(tr []trace.DynInst, cfg uarch.Config) (Result, error) {
-	if len(tr) == 0 {
+func SimulateProgramTrace(tr *trace.Trace, cfg uarch.Config) (Result, error) {
+	if tr.Len() == 0 {
 		return Result{}, fmt.Errorf("pipeline: empty trace")
 	}
 	return Simulate(tr, cfg)

@@ -32,13 +32,13 @@ func coldCost(cfg uarch.Config, res Result) int64 {
 }
 
 // traceOf runs a program and records its trace.
-func traceOf(t *testing.T, p *program.Program) []trace.DynInst {
+func traceOf(t *testing.T, p *program.Program) *trace.Trace {
 	t.Helper()
-	rec := &trace.Recorder{}
-	if _, err := funcsim.RunProgram(p, rec); err != nil {
+	b := trace.NewBuilder()
+	if _, err := funcsim.RunProgram(p, b); err != nil {
 		t.Fatal(err)
 	}
-	return rec.Insts
+	return b.Trace()
 }
 
 // straightline builds n independent unit-latency instructions.
@@ -146,7 +146,7 @@ func TestMulBlocksExecute(t *testing.T) {
 }
 
 func TestDivCostsMoreThanMul(t *testing.T) {
-	mk := func(div bool) []trace.DynInst {
+	mk := func(div bool) *trace.Trace {
 		p := program.New("ll", 64)
 		b := p.Block("main")
 		b.Li(1, 30)
@@ -159,11 +159,11 @@ func TestDivCostsMoreThanMul(t *testing.T) {
 			}
 		}
 		b.Halt()
-		rec := &trace.Recorder{}
-		if _, err := funcsim.RunProgram(p, rec); err != nil {
+		tb := trace.NewBuilder()
+		if _, err := funcsim.RunProgram(p, tb); err != nil {
 			t.Fatal(err)
 		}
-		return rec.Insts
+		return tb.Trace()
 	}
 	cfg := testCfg(4, 2)
 	mres, _ := Simulate(mk(false), cfg)
@@ -351,7 +351,7 @@ func TestEmptyTrace(t *testing.T) {
 func TestInvalidConfigRejected(t *testing.T) {
 	cfg := testCfg(4, 2)
 	cfg.Width = 99
-	if _, err := Simulate([]trace.DynInst{{}}, cfg); err == nil {
+	if _, err := Simulate(trace.Of(trace.DynInst{}), cfg); err == nil {
 		t.Error("invalid width accepted")
 	}
 }

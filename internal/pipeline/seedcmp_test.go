@@ -19,6 +19,10 @@ func TestSimulateMatchesSeed(t *testing.T) {
 			t.Fatal(err)
 		}
 		pw := harness.MustProfileProgram(spec.Build())
+		// One decode pass per workload: the seed reference consumes the
+		// legacy layout, and materializing inside the config loop would
+		// repeat it ~60 times.
+		aos := pw.Trace.Materialize()
 		base := uarch.Default()
 		var cfgs []uarch.Config
 		for _, df := range uarch.DepthFreqPoints() {
@@ -35,7 +39,7 @@ func TestSimulateMatchesSeed(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			want, err := seedref.Simulate(pw.Trace, cfg)
+			want, err := seedref.Simulate(aos, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,15 @@
+package seedref
+
+import (
+	"repro/internal/trace"
+	"repro/internal/uarch"
+)
+
+// SimulateTrace adapts the columnar trace store to the verbatim seed
+// simulator, which consumes the legacy []trace.DynInst layout. The
+// materialization cost is deliberate: the seed copy itself must stay
+// untouched, so differential tests pay one decode pass to keep the
+// reference bit-exact.
+func SimulateTrace(tr *trace.Trace, cfg uarch.Config) (Result, error) {
+	return Simulate(tr.Materialize(), cfg)
+}

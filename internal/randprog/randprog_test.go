@@ -76,15 +76,16 @@ func TestPipelineBoundsOnRandomPrograms(t *testing.T) {
 	cfg := uarch.Default()
 	for seed := int64(100); seed < 100+fuzzSeeds; seed++ {
 		p := Generate(Default(seed))
-		rec := &trace.Recorder{}
-		if _, err := funcsim.RunProgram(p, rec); err != nil {
+		tb := trace.NewBuilder()
+		if _, err := funcsim.RunProgram(p, tb); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		res, err := pipeline.Simulate(rec.Insts, cfg)
+		tr := tb.Trace()
+		res, err := pipeline.Simulate(tr, cfg)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		n := int64(len(rec.Insts))
+		n := tr.Len()
 		lo := n / int64(cfg.Width)
 		hi := n*int64(cfg.DivLatency) + (res.Cache.DL1Misses+res.Cache.IL1Misses)*int64(cfg.L2MissCycles()) +
 			(res.Cache.ITLBMisses+res.Cache.DTLBMisses)*int64(cfg.TLBWalkCycles()) +
@@ -92,7 +93,7 @@ func TestPipelineBoundsOnRandomPrograms(t *testing.T) {
 		if res.Cycles < lo || res.Cycles > hi {
 			t.Errorf("seed %d: cycles %d outside [%d, %d]", seed, res.Cycles, lo, hi)
 		}
-		res2, err := pipeline.Simulate(rec.Insts, cfg)
+		res2, err := pipeline.Simulate(tr, cfg)
 		if err != nil || res2 != res {
 			t.Errorf("seed %d: non-deterministic simulation", seed)
 		}

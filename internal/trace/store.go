@@ -1,0 +1,306 @@
+package trace
+
+import "repro/internal/isa"
+
+// Trace is the compact in-memory trace store: a chunked, columnar
+// (structure-of-arrays) encoding of the dynamic instruction stream.
+// Compared with []DynInst it drops the derivable fields — Seq is
+// implicit in position, NextPC follows from the taken flag and target —
+// and packs the six booleans plus the source count into one flag byte,
+// for roughly 22 bytes per instruction instead of 72. Hot columns (PC,
+// Op/Class, flags, EffAddr) are contiguous within each chunk, so
+// replay and detailed simulation scan cache-friendly arrays instead of
+// striding through 72-byte records.
+//
+// A Trace is built once through a Builder and is immutable (and safe
+// for concurrent readers) afterwards. Three access paths exist:
+//
+//   - Replay streams reconstructed *DynInst records to a Consumer —
+//     the compatibility path every existing collector uses.
+//   - Cursor/Columns iterate chunk by chunk with zero allocation,
+//     exposing the raw columns for batch consumers.
+//   - At / Materialize reconstruct individual records or the whole
+//     legacy slice (the seedref differential-test adapter).
+type Trace struct {
+	chunks []Columns
+	n      int64
+}
+
+// Chunk geometry: 1<<ChunkShift instructions per chunk. Random access
+// is two shifts; a chunk's columns total ~360 KiB, comfortably inside
+// L2, and small traces waste at most one partial chunk.
+const (
+	ChunkShift = 14
+	ChunkLen   = 1 << ChunkShift
+	ChunkMask  = ChunkLen - 1
+)
+
+// Flag bits of the packed per-instruction flag byte. Bits 6–7 hold
+// NumSrc (0..2).
+const (
+	FlagHasDst uint8 = 1 << iota
+	FlagTaken
+	FlagLoad
+	FlagStore
+	FlagBranch
+	FlagJump
+)
+
+// NumSrcShift is the bit offset of the 2-bit source count within the
+// flag byte.
+const NumSrcShift = 6
+
+// Columns is the raw column view of one chunk. Entries [0, N) are
+// valid; Base is the dynamic sequence number (= trace index) of entry
+// 0. PC and Target are static instruction indices and fit in 32 bits
+// by construction (instruction memory is an in-memory Go slice).
+type Columns struct {
+	Base int64
+	N    int
+
+	PC      []int32
+	Op      []isa.Op
+	Class   []isa.Class
+	Flags   []uint8
+	Dst     []isa.Reg
+	Src1    []isa.Reg
+	Src2    []isa.Reg
+	EffAddr []int64
+	Target  []int32
+}
+
+// Decode reconstructs entry j into d. The derived fields follow the
+// functional simulator's invariants: Seq is Base+j and NextPC is the
+// target when the taken flag is set, the fall-through PC otherwise.
+func (ck *Columns) Decode(j int, d *DynInst) {
+	fl := ck.Flags[j]
+	pc := int64(ck.PC[j])
+	tgt := int64(ck.Target[j])
+	d.Seq = ck.Base + int64(j)
+	d.PC = pc
+	d.Op = ck.Op[j]
+	d.Class = ck.Class[j]
+	d.Dst = ck.Dst[j]
+	d.HasDst = fl&FlagHasDst != 0
+	d.Src[0] = ck.Src1[j]
+	d.Src[1] = ck.Src2[j]
+	d.NumSrc = int(fl >> NumSrcShift)
+	d.EffAddr = ck.EffAddr[j]
+	d.Taken = fl&FlagTaken != 0
+	d.Target = tgt
+	if fl&FlagTaken != 0 {
+		d.NextPC = tgt
+	} else {
+		d.NextPC = pc + 1
+	}
+	d.IsLoad = fl&FlagLoad != 0
+	d.IsStore = fl&FlagStore != 0
+	d.IsBranch = fl&FlagBranch != 0
+	d.IsJump = fl&FlagJump != 0
+}
+
+// Len returns the number of recorded instructions. A nil Trace is
+// empty.
+func (t *Trace) Len() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}
+
+// NumChunks returns the number of chunks.
+func (t *Trace) NumChunks() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.chunks)
+}
+
+// Chunks returns the chunk views. The returned slice and its columns
+// must not be modified.
+func (t *Trace) Chunks() []Columns {
+	if t == nil {
+		return nil
+	}
+	return t.chunks
+}
+
+// At reconstructs instruction i; i must be in [0, Len()). Chunks are
+// allocated at full capacity, so without this check an out-of-range i
+// in the last chunk would silently decode a zeroed record.
+func (t *Trace) At(i int64) DynInst {
+	if i < 0 || i >= t.Len() {
+		panic("trace: At index out of range")
+	}
+	var d DynInst
+	t.chunks[i>>ChunkShift].Decode(int(i&ChunkMask), &d)
+	return d
+}
+
+// Cursor returns a zero-allocation chunk iterator.
+func (t *Trace) Cursor() Cursor {
+	if t == nil {
+		return Cursor{}
+	}
+	return Cursor{chunks: t.chunks}
+}
+
+// Cursor iterates a Trace chunk by chunk without allocating.
+type Cursor struct {
+	chunks []Columns
+	i      int
+}
+
+// Next returns the next chunk view, or false when exhausted.
+func (c *Cursor) Next() (*Columns, bool) {
+	if c.i >= len(c.chunks) {
+		return nil, false
+	}
+	ck := &c.chunks[c.i]
+	c.i++
+	return ck, true
+}
+
+// Replay streams every instruction to sink as a reconstructed
+// *DynInst, reusing one record — the compatibility path for
+// per-instruction consumers. The record must not be retained across
+// calls (copy it, as Recorder does).
+func (t *Trace) Replay(sink Consumer) {
+	var d DynInst
+	for cur := t.Cursor(); ; {
+		ck, ok := cur.Next()
+		if !ok {
+			return
+		}
+		for j := 0; j < ck.N; j++ {
+			ck.Decode(j, &d)
+			sink.Consume(&d)
+		}
+	}
+}
+
+// Materialize reconstructs the legacy array-of-structs trace. It is
+// the adapter for the verbatim seed-reference simulator
+// (internal/pipeline/seedref) and for differential tests; production
+// paths read columns instead.
+func (t *Trace) Materialize() []DynInst {
+	out := make([]DynInst, t.Len())
+	i := 0
+	for cur := t.Cursor(); ; {
+		ck, ok := cur.Next()
+		if !ok {
+			return out
+		}
+		for j := 0; j < ck.N; j++ {
+			ck.Decode(j, &out[i])
+			i++
+		}
+	}
+}
+
+// SizeBytes returns the memory footprint of the column data, counting
+// full chunk capacity (partial last chunks are accounted at their
+// allocated size).
+func (t *Trace) SizeBytes() int64 {
+	if t == nil {
+		return 0
+	}
+	var sz int64
+	for i := range t.chunks {
+		ck := &t.chunks[i]
+		sz += int64(cap(ck.PC))*4 + int64(cap(ck.Target))*4 + int64(cap(ck.EffAddr))*8 +
+			int64(cap(ck.Op)) + int64(cap(ck.Class)) + int64(cap(ck.Flags)) +
+			int64(cap(ck.Dst)) + int64(cap(ck.Src1)) + int64(cap(ck.Src2))
+	}
+	return sz
+}
+
+// Of builds a Trace from explicit records; intended for tests.
+func Of(ds ...DynInst) *Trace {
+	b := NewBuilder()
+	for i := range ds {
+		b.Append(&ds[i])
+	}
+	return b.Trace()
+}
+
+// Builder accumulates a Trace chunk by chunk: appends never copy
+// existing data (no doubling growth), so no sizing pre-pass is needed.
+// It implements Consumer, so it can sit directly on the functional
+// simulator's sink.
+type Builder struct {
+	t Trace
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Len returns the number of instructions appended so far.
+func (b *Builder) Len() int64 { return b.t.n }
+
+// Append encodes d at the next position. Seq and NextPC are not
+// stored: Seq is implicit in position and NextPC is re-derived on
+// decode from the taken flag, target and PC (the invariant every
+// funcsim-produced record satisfies).
+func (b *Builder) Append(d *DynInst) {
+	cs := b.t.chunks
+	if len(cs) == 0 || cs[len(cs)-1].N == ChunkLen {
+		b.t.chunks = append(cs, newChunk(b.t.n))
+		cs = b.t.chunks
+	}
+	ck := &cs[len(cs)-1]
+	j := ck.N
+	ck.PC[j] = int32(d.PC)
+	ck.Op[j] = d.Op
+	ck.Class[j] = d.Class
+	fl := uint8(d.NumSrc) << NumSrcShift
+	if d.HasDst {
+		fl |= FlagHasDst
+	}
+	if d.Taken {
+		fl |= FlagTaken
+	}
+	if d.IsLoad {
+		fl |= FlagLoad
+	}
+	if d.IsStore {
+		fl |= FlagStore
+	}
+	if d.IsBranch {
+		fl |= FlagBranch
+	}
+	if d.IsJump {
+		fl |= FlagJump
+	}
+	ck.Flags[j] = fl
+	ck.Dst[j] = d.Dst
+	ck.Src1[j] = d.Src[0]
+	ck.Src2[j] = d.Src[1]
+	ck.EffAddr[j] = d.EffAddr
+	ck.Target[j] = int32(d.Target)
+	ck.N = j + 1
+	b.t.n++
+}
+
+// Consume implements Consumer.
+func (b *Builder) Consume(d *DynInst) { b.Append(d) }
+
+// Trace returns the built trace. The pointer stays valid across
+// further appends (the builder and the trace share storage); callers
+// that need a stable snapshot should finish appending first.
+func (b *Builder) Trace() *Trace { return &b.t }
+
+func newChunk(base int64) Columns {
+	return Columns{
+		Base:    base,
+		PC:      make([]int32, ChunkLen),
+		Op:      make([]isa.Op, ChunkLen),
+		Class:   make([]isa.Class, ChunkLen),
+		Flags:   make([]uint8, ChunkLen),
+		Dst:     make([]isa.Reg, ChunkLen),
+		Src1:    make([]isa.Reg, ChunkLen),
+		Src2:    make([]isa.Reg, ChunkLen),
+		EffAddr: make([]int64, ChunkLen),
+		Target:  make([]int32, ChunkLen),
+	}
+}

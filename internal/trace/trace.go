@@ -2,9 +2,12 @@
 // functional simulator and consumed by the profiler, the cache and
 // branch-predictor simulators and the detailed pipeline simulator.
 //
-// Traces are streamed through a callback rather than materialized:
-// workloads execute hundreds of thousands of dynamic instructions and a
-// single profiling pass feeds several consumers at once (see Tee).
+// Traces are streamed through a callback (Consumer) during execution —
+// a single profiling pass feeds several consumers at once (see Tee) —
+// and materialized in the chunked, columnar Trace store (see store.go)
+// for replay across every machine configuration of interest. The
+// DynInst struct remains the per-instruction exchange record; Trace is
+// its compact resting form.
 package trace
 
 import "repro/internal/isa"
@@ -60,17 +63,6 @@ type Recorder struct {
 
 // Consume appends a copy of d.
 func (r *Recorder) Consume(d *DynInst) { r.Insts = append(r.Insts, *d) }
-
-// Reserve ensures capacity for n more instructions, so a caller that
-// knows the trace length up front avoids every growth copy of the
-// append path.
-func (r *Recorder) Reserve(n int64) {
-	if need := len(r.Insts) + int(n); need > cap(r.Insts) {
-		grown := make([]DynInst, len(r.Insts), need)
-		copy(grown, r.Insts)
-		r.Insts = grown
-	}
-}
 
 // Counter counts dynamic instructions by class.
 type Counter struct {

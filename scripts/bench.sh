@@ -17,7 +17,10 @@ raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 echo "running benchmark suite (one iteration per figure)..." >&2
-go test -run '^$' -bench . -benchtime=1x . | tee "$raw" >&2
+# -benchmem so B/op and allocs/op land in the JSON metrics: trace-memory
+# regressions (bytes/recorded-instruction, replay allocations) are part
+# of the baseline.
+go test -run '^$' -bench . -benchtime=1x -benchmem . | tee "$raw" >&2
 
 python3 - "$raw" "$out" <<'EOF'
 import json, re, sys
@@ -40,7 +43,7 @@ for line in open(raw_path):
     }
 
 with open(out_path, "w") as f:
-    json.dump({"suite": "go test -bench=. -benchtime=1x", "benchmarks": benches}, f, indent=2, sort_keys=True)
+    json.dump({"suite": "go test -bench=. -benchtime=1x -benchmem", "benchmarks": benches}, f, indent=2, sort_keys=True)
     f.write("\n")
 print(f"wrote {out_path} with {len(benches)} benchmarks", file=sys.stderr)
 EOF
