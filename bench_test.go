@@ -273,6 +273,26 @@ func BenchmarkDetailedSimulation(b *testing.B) {
 	b.SetBytes(pw.Trace.Len())
 }
 
+// BenchmarkDetailedSimulationAnnotated measures the annotation-plane
+// fast path for the same design point: machine events precomputed,
+// timing-only replay (annotation cost excluded — it is paid once per
+// machine component and shared across the whole design space).
+func BenchmarkDetailedSimulationAnnotated(b *testing.B) {
+	pw := profiledFor(b, "gsm_c")
+	cfg := uarch.Default()
+	ann, err := pw.Annotation(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.SimulateAnnotated(pw.Trace, cfg, ann); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(pw.Trace.Len())
+}
+
 // BenchmarkModelDesignSpace measures the model across all 192 points
 // (machine statistics for the whole space come from a single trace
 // replay).

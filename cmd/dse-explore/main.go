@@ -1,0 +1,134 @@
+// Command dse-explore runs the paper's Table 2 design-space
+// exploration for one or more benchmarks: the mechanistic model
+// evaluates all 192 design points from a single profiling run, and
+// -validate additionally runs the detailed cycle-accurate simulator at
+// every point through the annotation-plane fast path (the trace is
+// annotated once per distinct cache hierarchy and branch predictor;
+// each point is then a timing-only replay).
+//
+// Usage:
+//
+//	dse-explore -bench gsm_c
+//	dse-explore -bench gsm_c,lame -validate -workers 4
+//	dse-explore -bench sha -validate -top 10
+//	dse-explore -bench dijkstra -validate -cpuprofile cpu.pprof
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/dse"
+	"repro/internal/harness"
+	"repro/internal/par"
+	"repro/internal/power"
+	"repro/internal/proftool"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dse-explore: ")
+	var (
+		bench    = flag.String("bench", "gsm_c", "benchmark name, or comma-separated list")
+		validate = flag.Bool("validate", false, "run the detailed simulator at every design point (annotation-plane fast path)")
+		top      = flag.Int("top", 5, "print the N best design points by EDP")
+		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	)
+	flag.Parse()
+	par.SetDefault(*workers)
+	stopProf, err := proftool.Start(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
+
+	space := dse.Space(uarch.Default())
+	pm := power.NewModel()
+	for _, name := range strings.Split(*bench, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		spec, err := workloads.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("==== %s: %d design points ====\n", name, len(space))
+		t0 := time.Now()
+		pw, err := harness.ProfileProgram(spec.Build())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("profiled %d instructions in %v\n", pw.Trace.Len(), time.Since(t0).Round(time.Millisecond))
+
+		t1 := time.Now()
+		var pts []dse.Point
+		if *validate {
+			pts, err = dse.ExploreValidated(pw, space, pm, *workers)
+		} else {
+			pts, err = dse.Explore(pw, space, pm)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("explored in %v (%s)\n", time.Since(t1).Round(time.Millisecond), mode(*validate))
+		render(os.Stdout, pts, *top, *validate)
+	}
+	_ = os.Stdout.Sync()
+}
+
+func mode(validated bool) string {
+	if validated {
+		return "model + detailed simulation"
+	}
+	return "model only"
+}
+
+// render prints the best-EDP design points and, when validated, the
+// model-versus-simulation accuracy over the space.
+func render(w *os.File, pts []dse.Point, top int, validated bool) {
+	mBest, sBest := dse.BestEDP(pts)
+	fmt.Fprintf(w, "model best-EDP point:    %s\n", pts[mBest].Cfg.Name)
+	if sBest >= 0 {
+		fmt.Fprintf(w, "detailed best-EDP point: %s (same=%v)\n", pts[sBest].Cfg.Name, mBest == sBest)
+	}
+
+	ordered := append([]dse.Point(nil), pts...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ModelEDP < ordered[j].ModelEDP })
+	if top > len(ordered) {
+		top = len(ordered)
+	}
+	fmt.Fprintf(w, "%-36s %10s %12s", "top points by model EDP", "modelCPI", "modelEDP")
+	if validated {
+		fmt.Fprintf(w, " %10s %12s %8s", "simCPI", "simEDP", "err")
+	}
+	fmt.Fprintln(w)
+	for _, p := range ordered[:top] {
+		fmt.Fprintf(w, "%-36s %10.4f %12.4e", p.Cfg.Name, p.ModelCPI, p.ModelEDP)
+		if validated {
+			fmt.Fprintf(w, " %10.4f %12.4e %7.2f%%", p.SimCPI, p.SimEDP, 100*p.CPIErr)
+		}
+		fmt.Fprintln(w)
+	}
+	if validated {
+		var sum, max float64
+		for _, p := range pts {
+			sum += p.CPIErr
+			if p.CPIErr > max {
+				max = p.CPIErr
+			}
+		}
+		fmt.Fprintf(w, "model accuracy over the space: avg err %.2f%%, max %.2f%%\n",
+			100*sum/float64(len(pts)), 100*max)
+	}
+	fmt.Fprintln(w)
+}

@@ -10,6 +10,7 @@
 //	inorder-model -bench dijkstra -width 2 -stages 5 -l2kb 256 -pred hybrid -validate
 //	inorder-model -bench sha,dijkstra,gsm_c -validate -workers 4
 //	inorder-model -bench sha -dyninsts 5000000
+//	inorder-model -bench sha -validate -cpuprofile cpu.pprof
 //	inorder-model -list
 package main
 
@@ -25,7 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/par"
-	"repro/internal/pipeline"
+	"repro/internal/proftool"
 	"repro/internal/uarch"
 	"repro/internal/workloads"
 )
@@ -44,9 +45,16 @@ func main() {
 		validate = flag.Bool("validate", false, "also run the detailed cycle-accurate simulator")
 		workers  = flag.Int("workers", 0, "worker goroutines for multi-benchmark runs (0 = GOMAXPROCS)")
 		list     = flag.Bool("list", false, "list benchmarks and exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
 	par.SetDefault(*workers)
+	stopProf, err := proftool.Start(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	if *list {
 		for _, s := range workloads.All() {
@@ -91,7 +99,7 @@ func main() {
 		return
 	}
 	reports := make([]strings.Builder, len(specs))
-	err := par.ForEach(*workers, len(specs), func(i int) error {
+	err = par.ForEach(*workers, len(specs), func(i int) error {
 		if err := report(&reports[i], specs[i], cfg, *validate, *dyninsts); err != nil {
 			return fmt.Errorf("%s: %w", specs[i].Name, err)
 		}
@@ -173,7 +181,7 @@ func report(w io.Writer, spec workloads.Spec, cfg uarch.Config, validate bool, d
 	}
 
 	if validate {
-		sim, err := pipeline.Simulate(pw.Trace, cfg)
+		sim, err := pw.SimulateDetailed(cfg)
 		if err != nil {
 			return err
 		}

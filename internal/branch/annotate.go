@@ -1,0 +1,31 @@
+package branch
+
+import "repro/internal/trace"
+
+// AnnotateMispredicts simulates p over the trace's conditional-branch
+// stream — exactly the stream the detailed pipeline's fetch stage
+// trains it on: every conditional branch once, in program order, jumps
+// excluded — and returns a bit plane marking each mispredicted branch.
+// The plane is a pure function of (trace, predictor kind), so one
+// annotation serves every design point sharing the predictor.
+func AnnotateMispredicts(tr *trace.Trace, p Predictor) *trace.BitPlane {
+	b := trace.NewBitPlaneBuilder()
+	for cur := tr.Cursor(); ; {
+		ck, ok := cur.Next()
+		if !ok {
+			return b.Plane()
+		}
+		for j := 0; j < ck.N; j++ {
+			fl := ck.Flags[j]
+			if fl&(trace.FlagBranch|trace.FlagJump) != trace.FlagBranch {
+				b.Append(false)
+				continue
+			}
+			pc := int64(ck.PC[j])
+			taken := fl&trace.FlagTaken != 0
+			pred := p.Predict(pc)
+			p.Update(pc, taken)
+			b.Append(pred != taken)
+		}
+	}
+}

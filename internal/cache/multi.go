@@ -24,6 +24,20 @@ type L2SpaceSim struct {
 	sims    []*WBStackSim // one per distinct L2 set count
 	bySets  map[int64]int // set count -> index into sims
 
+	// Annotation-plane recording (RecordPlanes): per-access stack
+	// depths of the current instruction's L2 accesses, and one
+	// byte-plane builder per recorded geometry.
+	rec     []planeGeom
+	iDepths []int32 // depth per sims[k] of this instruction's I-side L2 access
+	dDepths []int32 // ... and of its demand D-side L2 access
+
+	// iStalls counts instructions whose fetch missed a TLB or L1 (any
+	// non-zero I-side event class). The detailed simulator re-accesses
+	// the hierarchy when fetch resumes after such a stall — a
+	// guaranteed hit that bumps only IL1Accesses — so reconstructing
+	// its exact Stats needs this count (see IStallEvents).
+	iStalls int64
+
 	// Same-block fast path, mirroring Hierarchy's: re-touching the MRU
 	// line and MRU page changes no replacement state and cannot reach
 	// the L2, so an all-hit repeat access is a pure counter bump.
@@ -91,10 +105,85 @@ func (s *L2SpaceSim) l2Access(byteAddr int64, class StreamClass, write bool) {
 	}
 }
 
+// l2AccessDepths is l2Access recording each simulator's stack depth
+// into depths (annotation mode).
+func (s *L2SpaceSim) l2AccessDepths(byteAddr int64, class StreamClass, write bool, depths []int32) {
+	for k, sim := range s.sims {
+		depths[k] = int32(sim.Access(byteAddr, class, write))
+	}
+}
+
+// planeGeom is one recorded L2 geometry: which shared simulator
+// resolves it and at what associativity, plus the plane being built.
+type planeGeom struct {
+	sim  int // index into sims
+	ways int32
+	b    *trace.BytePlaneBuilder
+}
+
+// RecordPlanes switches the engine into annotation mode: from now on
+// every consumed instruction appends one memory-event class byte (see
+// trace.Ann* bits) to a plane per candidate L2 geometry. Must be
+// called before the first Consume. The front outcomes (TLB and L1
+// bits) are shared across geometries; the per-geometry L2 bits are
+// decided by the reference's stack depth in the geometry's set-count
+// simulator (hit iff depth < ways).
+func (s *L2SpaceSim) RecordPlanes(l2s []Config) error {
+	type key struct {
+		sim  int
+		ways int32
+	}
+	seen := make(map[key]bool)
+	for _, l2 := range l2s {
+		if err := l2.Validate(); err != nil {
+			return err
+		}
+		if l2.BlockBytes != s.l2Block {
+			return fmt.Errorf("cache: L2SpaceSim: block size %d not simulated (engine uses %d)",
+				l2.BlockBytes, s.l2Block)
+		}
+		k, ok := s.bySets[l2.Sets()]
+		if !ok {
+			return fmt.Errorf("cache: L2SpaceSim: set count %d not simulated", l2.Sets())
+		}
+		id := key{sim: k, ways: int32(l2.Ways)}
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		s.rec = append(s.rec, planeGeom{sim: k, ways: int32(l2.Ways), b: trace.NewBytePlaneBuilder()})
+	}
+	s.iDepths = make([]int32, len(s.sims))
+	s.dDepths = make([]int32, len(s.sims))
+	return nil
+}
+
+// PlaneFor returns the recorded annotation plane of one L2 geometry.
+func (s *L2SpaceSim) PlaneFor(l2 Config) (*trace.BytePlane, error) {
+	if err := l2.Validate(); err != nil {
+		return nil, err
+	}
+	k, ok := s.bySets[l2.Sets()]
+	if !ok {
+		return nil, fmt.Errorf("cache: L2SpaceSim: set count %d not simulated", l2.Sets())
+	}
+	for _, g := range s.rec {
+		if g.sim == k && g.ways == int32(l2.Ways) {
+			return g.b.Plane(), nil
+		}
+	}
+	return nil, fmt.Errorf("cache: L2SpaceSim: geometry %dKB/%dw not recorded", l2.SizeBytes/1024, l2.Ways)
+}
+
 // Consume implements trace.Consumer, mirroring Hierarchy's access
 // sequence exactly: I-fetch first, then (for loads/stores) the dirty
-// L1 victim's L2 writeback, then the demand data access.
+// L1 victim's L2 writeback, then the demand data access. In annotation
+// mode it additionally appends this instruction's event-class byte to
+// every recorded geometry's plane.
 func (s *L2SpaceSim) Consume(d *trace.DynInst) {
+	var front uint8 // shared TLB/L1 outcome bits of this instruction
+	il1Miss, dl1Miss := false, false
+
 	byteAddr := d.PC * InstrBytes
 	if tag := byteAddr >> s.il1.blkShift; s.iWarm && tag == s.lastITag {
 		s.fixed.IL1Accesses++
@@ -104,50 +193,88 @@ func (s *L2SpaceSim) Consume(d *trace.DynInst) {
 		tlbHit := s.itlb.Access(byteAddr)
 		if !tlbHit {
 			s.fixed.ITLBMisses++
+			front |= trace.AnnITLBMiss
 		}
 		s.fixed.IL1Accesses++
 		hit, _, _ := s.il1.Access(byteAddr, false)
 		if !hit {
 			s.fixed.IL1Misses++
-			s.l2Access(byteAddr, StreamInstr, false)
+			front |= trace.AnnIL1Miss
+			il1Miss = true
+			if s.rec != nil {
+				s.l2AccessDepths(byteAddr, StreamInstr, false, s.iDepths)
+			} else {
+				s.l2Access(byteAddr, StreamInstr, false)
+			}
 		}
 		s.lastITag = tag
 		s.iWarm = s.warmOK && hit && tlbHit
+		if front != 0 {
+			s.iStalls++
+		}
 	}
 
-	if !d.IsLoad && !d.IsStore {
-		return
-	}
-	write := d.IsStore
-	byteAddr = d.EffAddr * WordBytes
-	if tag := byteAddr >> s.dl1.blkShift; s.dWarm && tag == s.lastDTag && (s.dDirty || !write) {
-		s.fixed.DL1Accesses++
-		s.dl1.Accesses++
-		s.dtlb.Accesses++
-		return
-	}
-	tlbHit := s.dtlb.Access(byteAddr)
-	if !tlbHit {
-		s.fixed.DTLBMisses++
-	}
-	s.fixed.DL1Accesses++
-	hit, wb, victim := s.dl1.Access(byteAddr, write)
-	if wb {
-		s.l2Access(victim, StreamWriteback, true)
-	}
-	if !hit {
-		s.fixed.DL1Misses++
-		class := StreamStore
-		if !write {
-			s.fixed.DL1LoadMisses++
-			class = StreamLoad
+	if d.IsLoad || d.IsStore {
+		write := d.IsStore
+		byteAddr = d.EffAddr * WordBytes
+		if tag := byteAddr >> s.dl1.blkShift; s.dWarm && tag == s.lastDTag && (s.dDirty || !write) {
+			s.fixed.DL1Accesses++
+			s.dl1.Accesses++
+			s.dtlb.Accesses++
+		} else {
+			tlbHit := s.dtlb.Access(byteAddr)
+			if !tlbHit {
+				s.fixed.DTLBMisses++
+				front |= trace.AnnDTLBMiss
+			}
+			s.fixed.DL1Accesses++
+			hit, wb, victim := s.dl1.Access(byteAddr, write)
+			if wb {
+				s.l2Access(victim, StreamWriteback, true)
+			}
+			if !hit {
+				s.fixed.DL1Misses++
+				front |= trace.AnnDL1Miss
+				dl1Miss = true
+				class := StreamStore
+				if !write {
+					s.fixed.DL1LoadMisses++
+					class = StreamLoad
+				}
+				if s.rec != nil {
+					s.l2AccessDepths(byteAddr, class, write, s.dDepths)
+				} else {
+					s.l2Access(byteAddr, class, write)
+				}
+			}
+			s.lastDTag = byteAddr >> s.dl1.blkShift
+			s.dWarm = s.warmOK && hit && tlbHit
+			s.dDirty = write
 		}
-		s.l2Access(byteAddr, class, write)
 	}
-	s.lastDTag = byteAddr >> s.dl1.blkShift
-	s.dWarm = s.warmOK && hit && tlbHit
-	s.dDirty = write
+
+	if s.rec == nil {
+		return
+	}
+	for i := range s.rec {
+		g := &s.rec[i]
+		b := front
+		if il1Miss && s.iDepths[g.sim] >= g.ways {
+			b |= trace.AnnIL2Miss
+		}
+		if dl1Miss && s.dDepths[g.sim] >= g.ways {
+			b |= trace.AnnDL2Miss
+		}
+		g.b.Append(b)
+	}
 }
+
+// IStallEvents returns the number of instruction fetches that stalled
+// on a TLB or L1-I miss. The detailed pipeline simulator performs one
+// extra (hitting) hierarchy access per such event when fetch resumes,
+// so its reported IL1Accesses exceeds the program-order count by
+// exactly this number.
+func (s *L2SpaceSim) IStallEvents() int64 { return s.iStalls }
 
 // StatsFor reconstructs the full Stats a Hierarchy with the fixed
 // front and the given L2 would have collected over the same stream.

@@ -132,9 +132,19 @@ func NewWBStackSim(sets int64, blockBytes int64) *WBStackSim {
 // Sets returns the simulated set count.
 func (s *WBStackSim) Sets() int64 { return s.sets }
 
+// ColdDepth is the stack depth Access reports for a never-seen block:
+// deeper than any finite associativity, so `depth < ways` uniformly
+// decides hit/miss.
+const ColdDepth = int(1) << 30
+
 // Access records one reference of the given class; write marks the
-// block dirty exactly as a write-allocate write-back cache would.
-func (s *WBStackSim) Access(byteAddr int64, class StreamClass, write bool) {
+// block dirty exactly as a write-allocate write-back cache would. It
+// returns the reference's LRU stack depth (0-based; ColdDepth for a
+// cold reference): by stack inclusion the reference hits an A-way
+// cache of this set count iff depth < A, which is how annotation
+// passes recover the per-access outcome for every candidate geometry
+// from the one shared simulation.
+func (s *WBStackSim) Access(byteAddr int64, class StreamClass, write bool) int {
 	s.acc[class]++
 	tag := byteAddr >> s.blkShift
 	set := tag & (s.sets - 1)
@@ -159,7 +169,7 @@ func (s *WBStackSim) Access(byteAddr int64, class StreamClass, write bool) {
 			e.cleanLimit = int32(i)
 		}
 		st[0] = e
-		return
+		return i
 	}
 	// Cold reference: a miss at every associativity.
 	s.cold[class]++
@@ -171,6 +181,7 @@ func (s *WBStackSim) Access(byteAddr int64, class StreamClass, write bool) {
 		e.cleanLimit = 0
 	}
 	st[0] = e
+	return ColdDepth
 }
 
 // sink pushes every entry of st one position deeper, charging the

@@ -102,7 +102,10 @@ func explore(memo *harness.InputsSet, cfgs []uarch.Config, pm power.Model) ([]Po
 
 // ExploreValidated additionally runs the detailed simulator for every
 // configuration, in parallel across workers (≤0 means the process
-// default, see par.SetDefault).
+// default, see par.SetDefault). The trace is annotated once per
+// distinct hierarchy and once per distinct predictor of the space
+// (itself in parallel); the 192 detailed runs are then timing-only
+// replays over the shared planes, bit-identical to pipeline.Simulate.
 func ExploreValidated(pw *harness.Profiled, cfgs []uarch.Config, pm power.Model, workers int) ([]Point, error) {
 	memo, err := pw.MultiInputs(cfgs)
 	if err != nil {
@@ -112,9 +115,12 @@ func ExploreValidated(pw *harness.Profiled, cfgs []uarch.Config, pm power.Model,
 	if err != nil {
 		return nil, err
 	}
+	if err := pw.EnsureAnnotated(cfgs, workers); err != nil {
+		return nil, err
+	}
 	err = par.ForEach(workers, len(pts), func(i int) error {
 		p := &pts[i]
-		sim, err := pipeline.Simulate(pw.Trace, p.Cfg)
+		sim, err := pw.SimulateDetailed(p.Cfg)
 		if err != nil {
 			return err
 		}

@@ -124,6 +124,63 @@ func TestExploreSingleReplay(t *testing.T) {
 	}
 }
 
+// TestExploreValidatedAnnotatesOnce pins the annotation-plane economy
+// of the validated exploration: the full 192-point Table 2 sweep
+// annotates the trace exactly once per distinct cache hierarchy (8:
+// four L2 sizes × two associativities) and once per distinct branch
+// predictor (2), and a repeated sweep on the same Profiled reuses the
+// cached planes without any further annotation work.
+func TestExploreValidatedAnnotatesOnce(t *testing.T) {
+	pw := profiled(t, "gsm_c")
+	space := Space(uarch.Default())
+	cBefore, bBefore := harness.CacheAnnotationCount(), harness.BranchAnnotationCount()
+	if _, err := ExploreValidated(pw, space, power.NewModel(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := harness.CacheAnnotationCount() - cBefore; got != 8 {
+		t.Errorf("validated exploration annotated %d hierarchies, want 8 (one per distinct hierarchy)", got)
+	}
+	if got := harness.BranchAnnotationCount() - bBefore; got != 2 {
+		t.Errorf("validated exploration annotated %d predictors, want 2 (one per distinct predictor)", got)
+	}
+	cBefore, bBefore = harness.CacheAnnotationCount(), harness.BranchAnnotationCount()
+	if _, err := ExploreValidated(pw, space, power.NewModel(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if c, b := harness.CacheAnnotationCount()-cBefore, harness.BranchAnnotationCount()-bBefore; c != 0 || b != 0 {
+		t.Errorf("repeated exploration re-annotated (%d hierarchies, %d predictors), want cached planes", c, b)
+	}
+}
+
+// TestExploreValidatedMatchesDirectSimulate verifies the annotated
+// fast path changes nothing observable in the validated exploration:
+// every simulation field must be bit-identical to running
+// pipeline.Simulate directly at that point.
+func TestExploreValidatedMatchesDirectSimulate(t *testing.T) {
+	pw := profiled(t, "dijkstra")
+	space := Space(uarch.Default())
+	var sub []uarch.Config
+	for i := 0; i < len(space); i += 13 {
+		sub = append(sub, space[i])
+	}
+	pts, err := ExploreValidated(pw, sub, power.NewModel(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		want, err := pipeline.Simulate(pw.Trace, p.Cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *p.Sim != want {
+			t.Errorf("%s: annotated result diverges:\n got  %+v\n want %+v", p.Cfg.Name, *p.Sim, want)
+		}
+		if p.SimCPI != want.CPI() {
+			t.Errorf("%s: SimCPI %v != %v", p.Cfg.Name, p.SimCPI, want.CPI())
+		}
+	}
+}
+
 // TestExploreMatchesPerConfigPath verifies the single-pass engine
 // changes nothing observable: model CPI, cycles and EDP must be
 // bit-identical to evaluating each point from a dedicated

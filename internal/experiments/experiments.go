@@ -18,47 +18,61 @@ import (
 	"repro/internal/harness"
 	"repro/internal/ooo"
 	"repro/internal/par"
-	"repro/internal/pipeline"
 	"repro/internal/power"
 	"repro/internal/stats"
 	"repro/internal/uarch"
 	"repro/internal/workloads"
 )
 
-// profiledCache avoids re-profiling workloads across experiments in
-// one process (profiling is the dominant cost, as in the paper). The
-// experiment loops run benchmarks in parallel, so access is locked;
-// concurrent first requests for the same name may profile twice, and
-// the losing result is simply dropped.
+// profiledCache avoids re-profiling and re-executing workloads across
+// experiments in one process (profiling is the dominant cost, as in
+// the paper): Fig3/Fig6 and the sweep figures share benchmarks — and,
+// through the Profiled value, annotation planes and trace — via this
+// process-wide cache. Entries are singleflight: concurrent first
+// requests for the same name wait for one profiling run instead of
+// racing duplicate executions, so every figure also shares the one
+// per-benchmark plane cache (a loser's planes would otherwise be
+// silently dropped with its Profiled).
 var (
 	profiledMu    sync.Mutex
-	profiledCache = map[string]*harness.Profiled{}
+	profiledCache = map[string]*profiledEntry{}
 )
+
+type profiledEntry struct {
+	done chan struct{}
+	pw   *harness.Profiled
+	err  error
+}
 
 // Profiled returns the profiled workload, building and caching it.
 func Profiled(name string) (*harness.Profiled, error) {
 	profiledMu.Lock()
-	pw, ok := profiledCache[name]
+	e, ok := profiledCache[name]
+	if !ok {
+		e = &profiledEntry{done: make(chan struct{})}
+		profiledCache[name] = e
+	}
 	profiledMu.Unlock()
 	if ok {
-		return pw, nil
+		<-e.done
+		return e.pw, e.err
 	}
 	spec, err := workloads.ByName(name)
-	if err != nil {
-		return nil, err
-	}
-	pw, err = harness.ProfileProgram(spec.Build())
-	if err != nil {
-		return nil, err
-	}
-	profiledMu.Lock()
-	if prev, ok := profiledCache[name]; ok {
-		pw = prev
+	if err == nil {
+		e.pw, e.err = harness.ProfileProgram(spec.Build())
 	} else {
-		profiledCache[name] = pw
+		e.err = err
 	}
-	profiledMu.Unlock()
-	return pw, nil
+	if e.err != nil {
+		// Failed entries are not cached: a later call may retry (the
+		// failure mode is a bad name or a broken build, both of which
+		// tests construct deliberately).
+		profiledMu.Lock()
+		delete(profiledCache, name)
+		profiledMu.Unlock()
+	}
+	close(e.done)
+	return e.pw, e.err
 }
 
 // ---------------------------------------------------------------------------
@@ -204,7 +218,10 @@ func Fig4() (*Fig4Result, error) {
 			if err != nil {
 				return err
 			}
-			sim, err := pipeline.Simulate(pw.Trace, cfg)
+			// All four widths share one hierarchy and predictor, so the
+			// annotation is computed once and each width is a
+			// timing-only replay.
+			sim, err := pw.SimulateDetailed(cfg)
 			if err != nil {
 				return err
 			}

@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/compiler"
+	"repro/internal/harness"
 	"repro/internal/uarch"
 	"repro/internal/workloads"
 )
@@ -228,5 +230,44 @@ func TestExtendedValidation(t *testing.T) {
 	}
 	if r.Summary.Mean > 0.08 {
 		t.Errorf("extended-suite average error %.2f%% exceeds 8%%", 100*r.Summary.Mean)
+	}
+}
+
+// TestProfiledSingleflight pins the process-wide workload cache:
+// concurrent first requests for one benchmark must resolve to the same
+// Profiled value (one execution, one profile, one shared plane cache),
+// and repeated requests must hit the cache.
+func TestProfiledSingleflight(t *testing.T) {
+	const goroutines = 8
+	var wg sync.WaitGroup
+	got := make([]*harness.Profiled, goroutines)
+	for i := 0; i < goroutines; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pw, err := Profiled("crc32")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = pw
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("concurrent Profiled calls returned distinct values (%p vs %p)", got[i], got[0])
+		}
+	}
+	pw, err := Profiled("crc32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pw != got[0] {
+		t.Error("repeated Profiled call missed the cache")
+	}
+	if _, err := Profiled("no-such-benchmark"); err == nil {
+		t.Error("unknown benchmark did not error")
 	}
 }

@@ -1,0 +1,454 @@
+package harness
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/branch"
+	"repro/internal/cache"
+	"repro/internal/par"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+)
+
+// cacheAnnotates / branchAnnotates count distinct machine components
+// annotated (not traversals: one traversal can cover several L2
+// geometries sharing a front). Tests pin the exploration invariant
+// "one annotation per distinct hierarchy and per distinct predictor".
+var (
+	cacheAnnotates  atomic.Int64
+	branchAnnotates atomic.Int64
+)
+
+// CacheAnnotationCount returns the number of distinct cache
+// hierarchies annotated so far in this process.
+func CacheAnnotationCount() int64 { return cacheAnnotates.Load() }
+
+// BranchAnnotationCount returns the number of distinct branch
+// predictors annotated so far in this process.
+func BranchAnnotationCount() int64 { return branchAnnotates.Load() }
+
+// MemPlane is the cache half of an annotation: per-instruction
+// memory-event classes for one hierarchy, plus the exact end-of-run
+// statistics the detailed simulator would report (including its
+// fetch-retry accounting of I-side stalls).
+type MemPlane struct {
+	Classes *trace.BytePlane
+	Stats   cache.Stats
+}
+
+// groupByFront buckets distinct hierarchies by their L1/TLB front —
+// the unit one annotation traversal covers.
+func groupByFront(hiers []cache.HierarchyConfig) ([]hierFront, map[hierFront][]cache.HierarchyConfig) {
+	byFront := make(map[hierFront][]cache.HierarchyConfig)
+	seen := make(map[cache.HierarchyConfig]bool)
+	var fronts []hierFront
+	for _, h := range hiers {
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		f := frontOf(h)
+		if _, ok := byFront[f]; !ok {
+			fronts = append(fronts, f)
+		}
+		byFront[f] = append(byFront[f], h)
+	}
+	return fronts, byFront
+}
+
+// annotateFront runs one annotation traversal for every hierarchy
+// sharing one L1/TLB front: the shared stack-distance engine resolves
+// each instruction's L2 outcome for all candidate geometries at once.
+func annotateFront(tr *trace.Trace, f hierFront, group []cache.HierarchyConfig) (map[cache.HierarchyConfig]*MemPlane, error) {
+	base := cache.HierarchyConfig{
+		IL1: f.il1, DL1: f.dl1,
+		ITLBEntries: f.itlbEntries, DTLBEntries: f.dtlbEntries,
+		PageBytes: f.pageBytes,
+	}
+	l2s := make([]cache.Config, len(group))
+	for k, h := range group {
+		l2s[k] = h.L2
+	}
+	eng, err := cache.NewL2SpaceSim(base, l2s)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.RecordPlanes(l2s); err != nil {
+		return nil, err
+	}
+	tr.Replay(eng)
+	// Canonicalize: two geometries whose planes came out identical
+	// (common — the trace's L2 misses are often all cold) share one
+	// plane object, so timing-replay memoization can key on plane
+	// identity. Stats stay per-hierarchy (writeback counts differ
+	// even when the per-instruction event classes coincide).
+	out := make(map[cache.HierarchyConfig]*MemPlane, len(group))
+	var canon []*trace.BytePlane
+	for _, h := range group {
+		plane, err := eng.PlaneFor(h.L2)
+		if err != nil {
+			return nil, err
+		}
+		dedup := false
+		for _, c := range canon {
+			if c.Equal(plane) {
+				plane, dedup = c, true
+				break
+			}
+		}
+		if !dedup {
+			canon = append(canon, plane)
+		}
+		stats, err := eng.StatsFor(h.L2)
+		if err != nil {
+			return nil, err
+		}
+		// The detailed simulator re-accesses the hierarchy once per
+		// I-side stall when fetch resumes (a guaranteed hit that
+		// bumps only IL1Accesses); fold that in so MemPlane.Stats
+		// is bit-identical to Simulate's Result.Cache.
+		stats.IL1Accesses += eng.IStallEvents()
+		out[h] = &MemPlane{Classes: plane, Stats: stats}
+	}
+	cacheAnnotates.Add(int64(len(group)))
+	return out, nil
+}
+
+// AnnotateCaches computes memory-event planes for every distinct
+// hierarchy in hiers, one trace traversal per distinct L1/TLB front.
+// Fronts are annotated in parallel across workers (≤0 means the
+// process default).
+func AnnotateCaches(tr *trace.Trace, hiers []cache.HierarchyConfig, workers int) (map[cache.HierarchyConfig]*MemPlane, error) {
+	fronts, byFront := groupByFront(hiers)
+	out := make(map[cache.HierarchyConfig]*MemPlane)
+	var mu sync.Mutex
+	err := par.ForEach(workers, len(fronts), func(i int) error {
+		part, err := annotateFront(tr, fronts[i], byFront[fronts[i]])
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		for h, mp := range part {
+			out[h] = mp
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AnnotateBranches computes mispredict planes for every distinct
+// predictor kind, in parallel across workers.
+func AnnotateBranches(tr *trace.Trace, preds []uarch.PredictorKind, workers int) (map[uarch.PredictorKind]*trace.BitPlane, error) {
+	var kinds []uarch.PredictorKind
+	seen := make(map[uarch.PredictorKind]bool)
+	for _, pk := range preds {
+		if !seen[pk] {
+			seen[pk] = true
+			kinds = append(kinds, pk)
+		}
+	}
+	out := make(map[uarch.PredictorKind]*trace.BitPlane, len(kinds))
+	var mu sync.Mutex
+	err := par.ForEach(workers, len(kinds), func(i int) error {
+		p := branch.AnnotateMispredicts(tr, kinds[i].New())
+		mu.Lock()
+		out[kinds[i]] = p
+		mu.Unlock()
+		branchAnnotates.Add(1)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Canonicalize identical planes (two predictors can mispredict the
+	// exact same branches) so timing memoization can key on identity.
+	var canon []*trace.BitPlane
+	for _, pk := range kinds {
+		p := out[pk]
+		dedup := false
+		for _, c := range canon {
+			if c.Equal(p) {
+				out[pk], dedup = c, true
+				break
+			}
+		}
+		if !dedup {
+			canon = append(canon, p)
+		}
+	}
+	return out, nil
+}
+
+// annotStore is the per-Profiled plane cache: planes are keyed by the
+// machine component they depend on, so every design point (and every
+// figure) sharing a hierarchy or predictor shares the one annotation.
+// Entries are singleflight: concurrent requesters of the same
+// component wait for the first computation instead of repeating it.
+type annotStore struct {
+	mu     sync.Mutex
+	mem    map[cache.HierarchyConfig]*annotEntry[*MemPlane]
+	br     map[uarch.PredictorKind]*annotEntry[*trace.BitPlane]
+	timing map[timingKey]*annotEntry[pipeline.Result]
+}
+
+type annotEntry[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// timingKey captures every input of SimulateAnnotated other than the
+// trace: the timing parameters of the design point and the identity of
+// the (canonicalized) annotation planes. Two design points with equal
+// keys replay to the same timing Result — only their Result.Cache
+// (stamped from MemPlane.Stats afterwards) can differ — so e.g. the
+// Table 2 space's 192 points collapse to one replay per distinct
+// (width, depth/frequency, plane-content) combination.
+type timingKey struct {
+	width, depth        int
+	mulLat, divLat      int
+	l2hit, l2miss, walk int
+	mem                 *trace.BytePlane
+	br                  *trace.BitPlane
+}
+
+func timingKeyOf(cfg uarch.Config, mem *trace.BytePlane, br *trace.BitPlane) timingKey {
+	return timingKey{
+		width: cfg.Width, depth: cfg.FrontEndDepth,
+		mulLat: cfg.MulLatency, divLat: cfg.DivLatency,
+		l2hit: cfg.L2HitCycles(), l2miss: cfg.L2MissCycles(), walk: cfg.TLBWalkCycles(),
+		mem: mem, br: br,
+	}
+}
+
+// EnsureAnnotated computes (or waits for) the annotation planes of
+// every distinct hierarchy and predictor in cfgs: one cache-annotation
+// traversal per distinct front covers all its L2 geometries, and each
+// distinct predictor is annotated once. Front and predictor traversals
+// are independent, so they all fan out through one worker pool.
+// Subsequent Annotation/SimulateDetailed calls for these
+// configurations are cache hits; a component whose annotation failed
+// is evicted so a later call can retry it.
+func (pw *Profiled) EnsureAnnotated(cfgs []uarch.Config, workers int) error {
+	st := &pw.annot
+	st.mu.Lock()
+	if st.mem == nil {
+		st.mem = make(map[cache.HierarchyConfig]*annotEntry[*MemPlane])
+		st.br = make(map[uarch.PredictorKind]*annotEntry[*trace.BitPlane])
+	}
+	var (
+		mineH    []cache.HierarchyConfig
+		mineP    []uarch.PredictorKind
+		waitH    []*annotEntry[*MemPlane]
+		waitP    []*annotEntry[*trace.BitPlane]
+		claimed  = make(map[cache.HierarchyConfig]*annotEntry[*MemPlane])
+		claimedP = make(map[uarch.PredictorKind]*annotEntry[*trace.BitPlane])
+	)
+	for _, cfg := range cfgs {
+		if e, ok := st.mem[cfg.Hier]; ok {
+			if claimed[cfg.Hier] == nil {
+				waitH = append(waitH, e)
+			}
+		} else {
+			e := &annotEntry[*MemPlane]{done: make(chan struct{})}
+			st.mem[cfg.Hier] = e
+			claimed[cfg.Hier] = e
+			mineH = append(mineH, cfg.Hier)
+		}
+		if e, ok := st.br[cfg.Predictor]; ok {
+			if claimedP[cfg.Predictor] == nil {
+				waitP = append(waitP, e)
+			}
+		} else {
+			e := &annotEntry[*trace.BitPlane]{done: make(chan struct{})}
+			st.br[cfg.Predictor] = e
+			claimedP[cfg.Predictor] = e
+			mineP = append(mineP, cfg.Predictor)
+		}
+	}
+	// Snapshot the planes of already-completed entries — but only when
+	// this call actually claimed annotation work: a newly computed
+	// plane equal to a cached one canonicalizes onto it, so timing
+	// memoization keeps sharing replays across batches. Pure cache-hit
+	// calls (every per-point call after the up-front annotation pass)
+	// skip the walk entirely.
+	var memSeeds []*trace.BytePlane
+	var brSeeds []*trace.BitPlane
+	if len(mineH)+len(mineP) > 0 {
+		for _, e := range st.mem {
+			select {
+			case <-e.done:
+				if e.err == nil && e.val != nil {
+					memSeeds = append(memSeeds, e.val.Classes)
+				}
+			default:
+			}
+		}
+		for _, e := range st.br {
+			select {
+			case <-e.done:
+				if e.err == nil && e.val != nil {
+					brSeeds = append(brSeeds, e.val)
+				}
+			default:
+			}
+		}
+	}
+	st.mu.Unlock()
+
+	var firstErr error
+	if len(mineH)+len(mineP) > 0 {
+		fronts, byFront := groupByFront(mineH)
+		nf := len(fronts)
+		frontRes := make([]map[cache.HierarchyConfig]*MemPlane, nf)
+		frontErr := make([]error, nf)
+		brRes := make([]*trace.BitPlane, len(mineP))
+		// One pool for cache fronts and predictors together: the
+		// traversals are independent, so none serializes behind the
+		// others. Per-task errors are recorded, not returned, so one
+		// bad hierarchy cannot fail unrelated components.
+		_ = par.ForEach(workers, nf+len(mineP), func(i int) error {
+			if i < nf {
+				frontRes[i], frontErr[i] = annotateFront(pw.Trace, fronts[i], byFront[fronts[i]])
+			} else {
+				brRes[i-nf] = branch.AnnotateMispredicts(pw.Trace, mineP[i-nf].New())
+				branchAnnotates.Add(1)
+			}
+			return nil
+		})
+
+		var failedH []cache.HierarchyConfig
+		for i, f := range fronts {
+			for _, h := range byFront[f] {
+				e := claimed[h]
+				if frontErr[i] != nil {
+					e.err = frontErr[i]
+					failedH = append(failedH, h)
+					if firstErr == nil {
+						firstErr = frontErr[i]
+					}
+				} else {
+					mp := frontRes[i][h]
+					for _, c := range memSeeds {
+						if c.Equal(mp.Classes) {
+							mp.Classes = c
+							break
+						}
+					}
+					memSeeds = append(memSeeds, mp.Classes)
+					e.val = mp
+				}
+				close(e.done)
+			}
+		}
+		for i, pk := range mineP {
+			p := brRes[i]
+			for _, c := range brSeeds {
+				if c.Equal(p) {
+					p = c
+					break
+				}
+			}
+			brSeeds = append(brSeeds, p)
+			e := claimedP[pk]
+			e.val = p
+			close(e.done)
+		}
+		if len(failedH) > 0 {
+			// Evict failed entries: waiters of this batch observe the
+			// error, later calls recompute.
+			st.mu.Lock()
+			for _, h := range failedH {
+				if st.mem[h] == claimed[h] {
+					delete(st.mem, h)
+				}
+			}
+			st.mu.Unlock()
+		}
+	}
+	for _, e := range waitH {
+		<-e.done
+		if e.err != nil && firstErr == nil {
+			firstErr = e.err
+		}
+	}
+	for _, e := range waitP {
+		<-e.done
+		if e.err != nil && firstErr == nil {
+			firstErr = e.err
+		}
+	}
+	return firstErr
+}
+
+// Annotation returns the annotation planes for one design point,
+// computing and caching them if needed.
+func (pw *Profiled) Annotation(cfg uarch.Config) (pipeline.Annotation, error) {
+	if err := pw.EnsureAnnotated([]uarch.Config{cfg}, 1); err != nil {
+		return pipeline.Annotation{}, err
+	}
+	st := &pw.annot
+	st.mu.Lock()
+	me := st.mem[cfg.Hier]
+	be := st.br[cfg.Predictor]
+	st.mu.Unlock()
+	<-me.done
+	<-be.done
+	if me.err != nil {
+		return pipeline.Annotation{}, me.err
+	}
+	if be.err != nil {
+		return pipeline.Annotation{}, be.err
+	}
+	return pipeline.Annotation{Mem: me.val.Classes, MemStats: me.val.Stats, Br: be.val}, nil
+}
+
+// SimulateDetailed runs the detailed cycle-accurate simulation of one
+// design point through the annotated fast path: machine events come
+// from the (cached) planes and the replay is timing-only arithmetic.
+// Timing results are additionally memoized by (timing parameters,
+// plane identity) — design points whose planes canonicalized to the
+// same objects share one replay, and only the hierarchy statistics are
+// stamped per configuration. The Result is bit-identical to
+// pipeline.Simulate's.
+func (pw *Profiled) SimulateDetailed(cfg uarch.Config) (pipeline.Result, error) {
+	ann, err := pw.Annotation(cfg)
+	if err != nil {
+		return pipeline.Result{}, err
+	}
+	key := timingKeyOf(cfg, ann.Mem, ann.Br)
+	st := &pw.annot
+	st.mu.Lock()
+	if st.timing == nil {
+		st.timing = make(map[timingKey]*annotEntry[pipeline.Result])
+	}
+	e, ok := st.timing[key]
+	if !ok {
+		e = &annotEntry[pipeline.Result]{done: make(chan struct{})}
+		st.timing[key] = e
+	}
+	st.mu.Unlock()
+	if ok {
+		<-e.done
+		if e.err != nil {
+			return pipeline.Result{}, e.err
+		}
+		res := e.val
+		res.Cache = ann.MemStats
+		return res, nil
+	}
+	res, err := pipeline.SimulateAnnotated(pw.Trace, cfg, ann)
+	e.err = err
+	if err == nil {
+		e.val = res
+		e.val.Cache = cache.Stats{} // stamped per configuration on reuse
+	}
+	close(e.done)
+	return res, err
+}

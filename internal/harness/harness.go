@@ -23,11 +23,17 @@ import (
 
 // Profiled is a program together with its recorded dynamic trace and
 // machine-independent profile. Profiling happens once; the trace is
-// replayed for every design point of interest.
+// replayed for every design point of interest. Annotation planes —
+// precomputed per-instruction machine events consumed by the detailed
+// simulator's fast path — are cached here keyed by the machine
+// component they depend on (see EnsureAnnotated), so figures sharing a
+// workload share the annotation work.
 type Profiled struct {
 	Name  string
 	Trace *trace.Trace
 	Prof  *profile.Profile
+
+	annot annotStore
 }
 
 // ProfileProgram runs p once, recording the trace and the profile in a
@@ -153,13 +159,16 @@ func (pw *Profiled) Validate(cfg uarch.Config) (Validation, error) {
 	return pw.ValidateOpts(cfg, core.Options{})
 }
 
-// ValidateOpts is Validate with explicit model options.
+// ValidateOpts is Validate with explicit model options. The detailed
+// reference runs through the annotated fast path (SimulateDetailed):
+// bit-identical to pipeline.Simulate, and the annotation is cached on
+// pw for every later design point sharing its hierarchy or predictor.
 func (pw *Profiled) ValidateOpts(cfg uarch.Config, opt core.Options) (Validation, error) {
 	st, err := pw.PredictOpts(cfg, opt)
 	if err != nil {
 		return Validation{}, err
 	}
-	sim, err := pipeline.Simulate(pw.Trace, cfg)
+	sim, err := pw.SimulateDetailed(cfg)
 	if err != nil {
 		return Validation{}, err
 	}

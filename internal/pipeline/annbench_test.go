@@ -1,0 +1,82 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/pipeline"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+// BenchmarkSimulate measures the self-contained detailed simulator:
+// live cache hierarchy and predictor in the hot loop.
+func BenchmarkSimulate(b *testing.B) {
+	pw := profiledBench(b, "gsm_c")
+	cfg := uarch.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.Simulate(pw.Trace, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(pw.Trace.Len())
+}
+
+// BenchmarkSimulateAnnotated measures the plane-consuming fast path:
+// the same design point replayed as timing-only arithmetic over the
+// precomputed annotation planes (annotation cost excluded — it is paid
+// once per machine component, not per design point).
+func BenchmarkSimulateAnnotated(b *testing.B) {
+	pw := profiledBench(b, "gsm_c")
+	cfg := uarch.Default()
+	ann, err := pw.Annotation(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.SimulateAnnotated(pw.Trace, cfg, ann); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(pw.Trace.Len())
+}
+
+// BenchmarkAnnotate measures the one-time annotation pass for one
+// hierarchy plus one predictor — the cost amortized across every
+// design point sharing those components.
+func BenchmarkAnnotate(b *testing.B) {
+	spec, err := workloads.ByName("gsm_c")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := uarch.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh Profiled each iteration so the plane cache cannot
+		// short-circuit the annotation.
+		b.StopTimer()
+		pw, err := harness.ProfileProgram(spec.Build())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := pw.Annotation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func profiledBench(b *testing.B, name string) *harness.Profiled {
+	b.Helper()
+	spec, err := workloads.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pw, err := harness.ProfileProgram(spec.Build())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pw
+}

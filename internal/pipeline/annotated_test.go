@@ -1,0 +1,114 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"repro/internal/branch"
+	"repro/internal/cache"
+	"repro/internal/dse"
+	"repro/internal/harness"
+	"repro/internal/pipeline"
+	"repro/internal/randprog"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+// annotationFor builds the annotation planes for one design point
+// directly from the cache/branch substrates (no harness cache), so the
+// differential tests exercise the raw annotate-then-replay pipeline.
+func annotationFor(t *testing.T, tr *trace.Trace, cfg uarch.Config) pipeline.Annotation {
+	t.Helper()
+	eng, err := cache.NewL2SpaceSim(cfg.Hier, []cache.Config{cfg.Hier.L2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RecordPlanes([]cache.Config{cfg.Hier.L2}); err != nil {
+		t.Fatal(err)
+	}
+	tr.Replay(eng)
+	plane, err := eng.PlaneFor(cfg.Hier.L2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := eng.StatsFor(cfg.Hier.L2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats.IL1Accesses += eng.IStallEvents()
+	return pipeline.Annotation{
+		Mem:      plane,
+		MemStats: stats,
+		Br:       branchPlane(tr, cfg.Predictor),
+	}
+}
+
+func branchPlane(tr *trace.Trace, pk uarch.PredictorKind) *trace.BitPlane {
+	return branch.AnnotateMispredicts(tr, pk.New())
+}
+
+// diffResults fails the test unless the two full Results are
+// bit-identical.
+func diffResults(t *testing.T, label string, want, got pipeline.Result) {
+	t.Helper()
+	if want != got {
+		t.Errorf("%s:\n  Simulate          %+v\n  SimulateAnnotated %+v", label, want, got)
+	}
+}
+
+// TestAnnotatedMatchesSimulateTable2 pins SimulateAnnotated ==
+// Simulate (the full Result struct, not just CPI) on a real workload
+// trace across every one of the 192 Table 2 design points.
+func TestAnnotatedMatchesSimulateTable2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("192-config differential sweep")
+	}
+	spec, err := workloads.ByName("sha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := harness.ProfileProgram(spec.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range dse.Space(uarch.Default()) {
+		want, err := pipeline.Simulate(pw.Trace, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pipeline.SimulateAnnotated(pw.Trace, cfg, annotationFor(t, pw.Trace, cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffResults(t, cfg.Name, want, got)
+	}
+}
+
+// TestAnnotatedMatchesSimulateRandom differentially tests the
+// annotated fast path on random programs across randomized Table 2
+// configurations (every width, depth, L2 geometry and predictor
+// appears).
+func TestAnnotatedMatchesSimulateRandom(t *testing.T) {
+	space := dse.Space(uarch.Default())
+	for seed := int64(1); seed <= 6; seed++ {
+		p := randprog.Generate(randprog.Default(seed))
+		pw, err := harness.ProfileProgram(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A deterministic, seed-dependent stride samples the space so
+		// all 192 points appear across the six seeds.
+		for i := int(seed) - 1; i < len(space); i += 6 {
+			cfg := space[i]
+			want, err := pipeline.Simulate(pw.Trace, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := pipeline.SimulateAnnotated(pw.Trace, cfg, annotationFor(t, pw.Trace, cfg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffResults(t, cfg.Name, want, got)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Package proftool is the shared pprof plumbing behind the CLIs'
+// -cpuprofile/-memprofile flags: hot-path regressions are diagnosable
+// with `go tool pprof` instead of editing benchmark code.
+package proftool
+
+import (
+	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins a CPU profile and/or arranges a heap profile, as
+// requested (empty path = off); the returned stop function flushes
+// them and must be called before exit. Paths that bypass stop (e.g.
+// log.Fatal) lose the profiles — they are for runs that complete.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				log.Printf("memprofile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live heap before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+		}
+	}, nil
+}

@@ -7,12 +7,16 @@
 #
 # Writes BENCH_<N>.json (default N=1) at the repository root, seeding
 # the performance trajectory: successive PRs append BENCH_2.json,
-# BENCH_3.json, ... and compare against earlier baselines.
+# BENCH_3.json, ... and compare against earlier baselines. When
+# BENCH_<N-1>.json exists, each benchmark entry carries its wall-time
+# speedup over that baseline ("speedup_vs_prev", >1 is faster) and the
+# file records the baseline it was compared against.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 n="${1:-1}"
 out="BENCH_${n}.json"
+prev="BENCH_$((n - 1)).json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -22,10 +26,10 @@ echo "running benchmark suite (one iteration per figure)..." >&2
 # of the baseline.
 go test -run '^$' -bench . -benchtime=1x -benchmem . | tee "$raw" >&2
 
-python3 - "$raw" "$out" <<'EOF'
-import json, re, sys
+python3 - "$raw" "$out" "$prev" <<'EOF'
+import json, os, re, sys
 
-raw_path, out_path = sys.argv[1], sys.argv[2]
+raw_path, out_path, prev_path = sys.argv[1], sys.argv[2], sys.argv[3]
 benches = {}
 line_re = re.compile(r'^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(\d+(?:\.\d+)?) ns/op(.*)$')
 for line in open(raw_path):
@@ -42,8 +46,23 @@ for line in open(raw_path):
         "metrics": metrics,
     }
 
+doc = {"suite": "go test -bench=. -benchtime=1x -benchmem", "benchmarks": benches}
+
+if os.path.exists(prev_path):
+    prev = json.load(open(prev_path))["benchmarks"]
+    for name, b in benches.items():
+        old = prev.get(name)
+        if old and b["wall_seconds"] > 0:
+            b["speedup_vs_prev"] = round(old["wall_seconds"] / b["wall_seconds"], 3)
+    doc["baseline"] = prev_path
+    print(f"speedups vs {prev_path}:", file=sys.stderr)
+    for name in sorted(benches):
+        s = benches[name].get("speedup_vs_prev")
+        if s is not None:
+            print(f"  {name:<34} {s:6.2f}x", file=sys.stderr)
+
 with open(out_path, "w") as f:
-    json.dump({"suite": "go test -bench=. -benchtime=1x -benchmem", "benchmarks": benches}, f, indent=2, sort_keys=True)
+    json.dump(doc, f, indent=2, sort_keys=True)
     f.write("\n")
 print(f"wrote {out_path} with {len(benches)} benchmarks", file=sys.stderr)
 EOF
