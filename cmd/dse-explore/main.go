@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
@@ -94,16 +95,26 @@ func mode(validated bool) string {
 }
 
 // render prints the best-EDP design points and, when validated, the
-// model-versus-simulation accuracy over the space.
-func render(w *os.File, pts []dse.Point, top int, validated bool) {
+// model-versus-simulation accuracy over the space. An empty point
+// slice and out-of-range top values are reported, not panics.
+func render(w io.Writer, pts []dse.Point, top int, validated bool) {
+	if len(pts) == 0 {
+		fmt.Fprintln(w, "no design points to report (empty design space)")
+		return
+	}
 	mBest, sBest := dse.BestEDP(pts)
-	fmt.Fprintf(w, "model best-EDP point:    %s\n", pts[mBest].Cfg.Name)
+	if mBest >= 0 {
+		fmt.Fprintf(w, "model best-EDP point:    %s\n", pts[mBest].Cfg.Name)
+	}
 	if sBest >= 0 {
 		fmt.Fprintf(w, "detailed best-EDP point: %s (same=%v)\n", pts[sBest].Cfg.Name, mBest == sBest)
 	}
 
 	ordered := append([]dse.Point(nil), pts...)
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ModelEDP < ordered[j].ModelEDP })
+	if top < 0 {
+		top = 0
+	}
 	if top > len(ordered) {
 		top = len(ordered)
 	}

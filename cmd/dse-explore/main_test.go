@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dse"
+	"repro/internal/uarch"
+)
+
+// TestRenderEmptySpace is the regression test for the empty-space
+// panic: render used to index pts[-1] via dse.BestEDP on an empty
+// slice. It must print a clear message instead.
+func TestRenderEmptySpace(t *testing.T) {
+	var b strings.Builder
+	render(&b, nil, 5, true)
+	if !strings.Contains(b.String(), "no design points") {
+		t.Fatalf("empty space output %q lacks a clear message", b.String())
+	}
+}
+
+// TestRenderNegativeTop is the regression test for the negative -top
+// panic: ordered[:top] with top < 0 used to slice out of range.
+func TestRenderNegativeTop(t *testing.T) {
+	cfg := uarch.Default()
+	cfg.Name = "pt"
+	pts := []dse.Point{{Cfg: cfg, ModelCPI: 1.5, ModelEDP: 2.5}}
+	for _, top := range []int{-1, -100, 0, 1, 99} {
+		var b strings.Builder
+		render(&b, pts, top, false)
+		if !strings.Contains(b.String(), "model best-EDP point") {
+			t.Fatalf("top=%d: output %q lacks the best-point line", top, b.String())
+		}
+	}
+}

@@ -63,27 +63,13 @@ func main() {
 		return
 	}
 
-	cfg := uarch.Default()
-	found := false
-	for _, df := range uarch.DepthFreqPoints() {
-		if df.Stages == *stages {
-			cfg = cfg.WithDepth(df)
-			found = true
-		}
-	}
-	if !found {
-		log.Fatalf("unsupported stage count %d (use 5, 7 or 9)", *stages)
-	}
-	cfg = cfg.WithWidth(*width).WithL2(*l2kb, *l2ways)
-	switch *predName {
-	case "gshare":
-		cfg = cfg.WithPredictor(uarch.PredGShare1KB)
-	case "hybrid":
-		cfg = cfg.WithPredictor(uarch.PredHybrid3_5KB)
-	default:
-		log.Fatalf("unknown predictor %q (use gshare or hybrid)", *predName)
-	}
-	if err := cfg.Validate(); err != nil {
+	// The whole design point is validated against the paper's Table 2
+	// domain by the same validator the modeld service uses for request
+	// decoding: out-of-domain widths, L2 geometries and predictors are
+	// rejected with a descriptive error instead of producing nonsense
+	// or panicking downstream.
+	cfg, err := uarch.Table2Config(uarch.Default(), *width, *stages, *l2kb, *l2ways, *predName)
+	if err != nil {
 		log.Fatal(err)
 	}
 

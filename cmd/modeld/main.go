@@ -1,0 +1,86 @@
+// Command modeld is the long-running prediction service: the paper's
+// "profile once, answer design-space questions in microseconds"
+// workflow behind an HTTP/JSON API. A benchmark is profiled on first
+// request (once, no matter how many clients ask concurrently) and kept
+// in a bounded LRU; every later prediction, exploration or validation
+// is answered from the resident trace. Annotation planes and memoized
+// timing replays live under a byte budget, so the process serves an
+// unbounded request stream in bounded memory.
+//
+// Endpoints:
+//
+//	GET /v1/predict?bench=sha&width=2&stages=5&l2kb=256&l2ways=8&pred=hybrid[&validate=true]
+//	GET /v1/explore?bench=gsm_c[&validate=true][&width=4][&l2kb=512][&pred=gshare][&top=10]
+//	GET /v1/workloads
+//	GET /healthz
+//	GET /metrics
+//
+// Usage:
+//
+//	modeld -addr :8080
+//	modeld -addr :8080 -max-workloads 8 -max-plane-bytes 268435456 -workers 8 -explore-workers 4
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/par"
+	"repro/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("modeld: ")
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		maxWorkloads  = flag.Int("max-workloads", 16, "max resident profiled workloads (LRU eviction; 0 = unbounded)")
+		maxPlaneBytes = flag.Int64("max-plane-bytes", 512<<20, "total annotation-plane/timing cache budget in bytes across workloads (0 = unbounded)")
+		workers       = flag.Int("workers", 0, "total worker tokens shared by all requests (0 = GOMAXPROCS)")
+		exploreWork   = flag.Int("explore-workers", 0, "max worker tokens one /v1/explore request may hold (0 = half the pot)")
+		dyninsts      = flag.Int64("dyninsts", 0, "minimum dynamic instructions per profiled workload (0 = one run)")
+	)
+	flag.Parse()
+	par.SetDefault(*workers)
+
+	srv := service.New(service.Config{
+		MaxWorkloads:   *maxWorkloads,
+		MaxPlaneBytes:  *maxPlaneBytes,
+		Workers:        *workers,
+		ExploreWorkers: *exploreWork,
+		MinDynInsts:    *dyninsts,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("listening on %s (max-workloads=%d, max-plane-bytes=%d)", *addr, *maxWorkloads, *maxPlaneBytes)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	// ListenAndServe returns as soon as Shutdown starts; wait for the
+	// drain to finish so in-flight requests complete before exit.
+	stop()
+	<-drained
+	log.Printf("shut down")
+}

@@ -18,13 +18,14 @@ import (
 )
 
 // Space enumerates the Table 2 design space starting from base (whose
-// L1 caches, latencies and TLBs are kept).
+// L1 caches, latencies and TLBs are kept). The domain lists live in
+// internal/uarch, shared with the CLI and service request validators.
 func Space(base uarch.Config) []uarch.Config {
 	var out []uarch.Config
-	widths := []int{1, 2, 3, 4}
-	l2SizesKB := []int{128, 256, 512, 1024}
-	l2Ways := []int{8, 16}
-	preds := []uarch.PredictorKind{uarch.PredGShare1KB, uarch.PredHybrid3_5KB}
+	widths := uarch.Table2Widths()
+	l2SizesKB := uarch.Table2L2SizesKB()
+	l2Ways := uarch.Table2L2Ways()
+	preds := uarch.Table2Predictors()
 	for _, df := range uarch.DepthFreqPoints() {
 		for _, w := range widths {
 			for _, sz := range l2SizesKB {

@@ -24,55 +24,27 @@ import (
 	"repro/internal/workloads"
 )
 
-// profiledCache avoids re-profiling and re-executing workloads across
+// profiledPool avoids re-profiling and re-executing workloads across
 // experiments in one process (profiling is the dominant cost, as in
 // the paper): Fig3/Fig6 and the sweep figures share benchmarks — and,
 // through the Profiled value, annotation planes and trace — via this
-// process-wide cache. Entries are singleflight: concurrent first
-// requests for the same name wait for one profiling run instead of
-// racing duplicate executions, so every figure also shares the one
-// per-benchmark plane cache (a loser's planes would otherwise be
-// silently dropped with its Profiled).
-var (
-	profiledMu    sync.Mutex
-	profiledCache = map[string]*profiledEntry{}
-)
-
-type profiledEntry struct {
-	done chan struct{}
-	pw   *harness.Profiled
-	err  error
-}
+// process-wide cache. It is an unbounded harness.Pool, so the batch
+// figures get the same singleflight admission the modeld service
+// uses: concurrent first requests for the same name wait for one
+// profiling run instead of racing duplicate executions, and every
+// figure shares the one per-benchmark plane cache. Failed profiling
+// runs are not cached; a later call retries.
+var profiledPool = harness.NewPool(harness.PoolOptions{})
 
 // Profiled returns the profiled workload, building and caching it.
 func Profiled(name string) (*harness.Profiled, error) {
-	profiledMu.Lock()
-	e, ok := profiledCache[name]
-	if !ok {
-		e = &profiledEntry{done: make(chan struct{})}
-		profiledCache[name] = e
-	}
-	profiledMu.Unlock()
-	if ok {
-		<-e.done
-		return e.pw, e.err
-	}
 	spec, err := workloads.ByName(name)
-	if err == nil {
-		e.pw, e.err = harness.ProfileProgram(spec.Build())
-	} else {
-		e.err = err
+	if err != nil {
+		return nil, err
 	}
-	if e.err != nil {
-		// Failed entries are not cached: a later call may retry (the
-		// failure mode is a bad name or a broken build, both of which
-		// tests construct deliberately).
-		profiledMu.Lock()
-		delete(profiledCache, name)
-		profiledMu.Unlock()
-	}
-	close(e.done)
-	return e.pw, e.err
+	return profiledPool.Get(name, func() (*harness.Profiled, error) {
+		return harness.ProfileProgram(spec.Build())
+	})
 }
 
 // ---------------------------------------------------------------------------

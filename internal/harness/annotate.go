@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -28,6 +29,20 @@ func CacheAnnotationCount() int64 { return cacheAnnotates.Load() }
 // BranchAnnotationCount returns the number of distinct branch
 // predictors annotated so far in this process.
 func BranchAnnotationCount() int64 { return branchAnnotates.Load() }
+
+// canonicalize returns the first plane in seeds with contents equal to
+// p — sharing its pointer, so timing memoization can key on plane
+// identity — or p itself when no seed matches. Every site that
+// publishes a plane into a cache must route through this: replay
+// sharing depends on equal planes collapsing to one object.
+func canonicalize[P interface{ Equal(P) bool }](seeds []P, p P) P {
+	for _, c := range seeds {
+		if c.Equal(p) {
+			return c
+		}
+	}
+	return p
+}
 
 // MemPlane is the cache half of an annotation: per-instruction
 // memory-event classes for one hierarchy, plus the exact end-of-run
@@ -91,14 +106,9 @@ func annotateFront(tr *trace.Trace, f hierFront, group []cache.HierarchyConfig) 
 		if err != nil {
 			return nil, err
 		}
-		dedup := false
-		for _, c := range canon {
-			if c.Equal(plane) {
-				plane, dedup = c, true
-				break
-			}
-		}
-		if !dedup {
+		if q := canonicalize(canon, plane); q != plane {
+			plane = q
+		} else {
 			canon = append(canon, plane)
 		}
 		stats, err := eng.StatsFor(h.L2)
@@ -114,6 +124,44 @@ func annotateFront(tr *trace.Trace, f hierFront, group []cache.HierarchyConfig) 
 	}
 	cacheAnnotates.Add(int64(len(group)))
 	return out, nil
+}
+
+// safeAnnotateFront is annotateFront with panics converted to errors:
+// a panic unwinding past a claimed singleflight entry would leave its
+// done channel unclosed and wedge every future request for the
+// component (net/http recovers handler panics, so a long-running
+// service would otherwise keep the dead claim forever).
+func safeAnnotateFront(tr *trace.Trace, f hierFront, group []cache.HierarchyConfig) (out map[cache.HierarchyConfig]*MemPlane, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("harness: cache annotation panicked: %v", r)
+		}
+	}()
+	return annotateFront(tr, f, group)
+}
+
+// safeAnnotateBranch annotates one predictor with the same panic
+// protection (see safeAnnotateFront).
+func safeAnnotateBranch(tr *trace.Trace, pk uarch.PredictorKind) (p *trace.BitPlane, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p, err = nil, fmt.Errorf("harness: branch annotation for %v panicked: %v", pk, r)
+		}
+	}()
+	p = branch.AnnotateMispredicts(tr, pk.New())
+	branchAnnotates.Add(1)
+	return p, nil
+}
+
+// safeSimulateAnnotated runs the timing replay with the same panic
+// protection (see safeAnnotateFront).
+func safeSimulateAnnotated(tr *trace.Trace, cfg uarch.Config, ann pipeline.Annotation) (res pipeline.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = pipeline.Result{}, fmt.Errorf("harness: detailed simulation of %s panicked: %v", cfg, r)
+		}
+	}()
+	return pipeline.SimulateAnnotated(tr, cfg, ann)
 }
 
 // AnnotateCaches computes memory-event planes for every distinct
@@ -170,16 +218,10 @@ func AnnotateBranches(tr *trace.Trace, preds []uarch.PredictorKind, workers int)
 	// exact same branches) so timing memoization can key on identity.
 	var canon []*trace.BitPlane
 	for _, pk := range kinds {
-		p := out[pk]
-		dedup := false
-		for _, c := range canon {
-			if c.Equal(p) {
-				out[pk], dedup = c, true
-				break
-			}
-		}
-		if !dedup {
-			canon = append(canon, p)
+		if q := canonicalize(canon, out[pk]); q != out[pk] {
+			out[pk] = q
+		} else {
+			canon = append(canon, out[pk])
 		}
 	}
 	return out, nil
@@ -190,17 +232,200 @@ func AnnotateBranches(tr *trace.Trace, preds []uarch.PredictorKind, workers int)
 // figure) sharing a hierarchy or predictor shares the one annotation.
 // Entries are singleflight: concurrent requesters of the same
 // component wait for the first computation instead of repeating it.
+//
+// The store is byte-accounted: every resident plane (counted once per
+// distinct object — canonicalized planes shared by several entries are
+// charged once) plus a fixed per-entry overhead contributes to
+// usedBytes, and when a budget is set (SetAnnotBudget) completed
+// entries are evicted least-recently-used until the store fits. A
+// long-running process can therefore serve an unbounded stream of
+// design points in bounded memory; evicted components are simply
+// recomputed on next use.
 type annotStore struct {
 	mu     sync.Mutex
 	mem    map[cache.HierarchyConfig]*annotEntry[*MemPlane]
 	br     map[uarch.PredictorKind]*annotEntry[*trace.BitPlane]
 	timing map[timingKey]*annotEntry[pipeline.Result]
+
+	budget    int64 // resident-byte budget; ≤ 0 means unbounded
+	usedBytes int64 // bytes charged for resident completed entries
+	clock     int64 // LRU clock; entries stamp it on insert and touch
+	evictions int64
+	planeRefs map[any]*planeRef // distinct plane object -> charge state
 }
 
 type annotEntry[T any] struct {
-	done chan struct{}
-	val  T
-	err  error
+	done    chan struct{}
+	val     T
+	err     error
+	lastUse int64
+}
+
+// planeRef tracks how many resident entries reference one distinct
+// plane object, so shared (canonicalized) planes are charged once and
+// uncharged only when the last referencing entry is evicted.
+type planeRef struct {
+	bytes int64
+	refs  int
+}
+
+// Fixed per-entry charges covering the entry, key and map-slot
+// footprint beyond the planes themselves.
+const (
+	annotEntryOverheadBytes  = 160
+	timingEntryOverheadBytes = 512
+)
+
+// entryDone reports whether an entry's computation has completed.
+func entryDone[T any](e *annotEntry[T]) bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// touchLocked stamps an entry's last use. Callers hold st.mu.
+func (st *annotStore) touchLocked(lastUse *int64) {
+	st.clock++
+	*lastUse = st.clock
+}
+
+// retainLocked charges one reference to a plane object, adding its
+// bytes on the first reference. Callers hold st.mu.
+func (st *annotStore) retainLocked(p any, bytes int64) {
+	if p == nil {
+		return
+	}
+	if st.planeRefs == nil {
+		st.planeRefs = make(map[any]*planeRef)
+	}
+	r := st.planeRefs[p]
+	if r == nil {
+		r = &planeRef{bytes: bytes}
+		st.planeRefs[p] = r
+		st.usedBytes += bytes
+	}
+	r.refs++
+}
+
+// releaseLocked drops one reference to a plane object, uncharging its
+// bytes when the last reference goes. Callers hold st.mu.
+func (st *annotStore) releaseLocked(p any) {
+	if p == nil {
+		return
+	}
+	r := st.planeRefs[p]
+	if r == nil {
+		return
+	}
+	r.refs--
+	if r.refs <= 0 {
+		st.usedBytes -= r.bytes
+		delete(st.planeRefs, p)
+	}
+}
+
+// seedsLocked snapshots every charged plane object — resident entries
+// and planes kept alive only by memoized timing results — as
+// canonicalization seeds. Seeding from planeRefs rather than the
+// entry maps matters under a byte budget: when a component entry is
+// evicted but its timing memos survive, a recomputed plane equal to
+// the evicted one adopts the old pointer, so those memos become
+// hittable again instead of dead weight. Callers hold st.mu.
+func (st *annotStore) seedsLocked() (mem []*trace.BytePlane, br []*trace.BitPlane) {
+	for p := range st.planeRefs {
+		switch q := p.(type) {
+		case *trace.BytePlane:
+			mem = append(mem, q)
+		case *trace.BitPlane:
+			br = append(br, q)
+		}
+	}
+	return mem, br
+}
+
+// chargeMemLocked publishes a completed cache-annotation entry into
+// the accounting. Callers hold st.mu.
+func (st *annotStore) chargeMemLocked(e *annotEntry[*MemPlane]) {
+	st.retainLocked(e.val.Classes, e.val.Classes.SizeBytes())
+	st.usedBytes += annotEntryOverheadBytes
+	st.touchLocked(&e.lastUse)
+}
+
+// chargeBrLocked publishes a completed branch-annotation entry.
+func (st *annotStore) chargeBrLocked(e *annotEntry[*trace.BitPlane]) {
+	st.retainLocked(e.val, e.val.SizeBytes())
+	st.usedBytes += annotEntryOverheadBytes
+	st.touchLocked(&e.lastUse)
+}
+
+// chargeTimingLocked publishes a completed memoized timing entry; the
+// key's plane references keep shared planes charged while any timing
+// result depends on them.
+func (st *annotStore) chargeTimingLocked(key timingKey, e *annotEntry[pipeline.Result]) {
+	st.retainLocked(key.mem, key.mem.SizeBytes())
+	st.retainLocked(key.br, key.br.SizeBytes())
+	st.usedBytes += timingEntryOverheadBytes
+	st.touchLocked(&e.lastUse)
+}
+
+// evictLocked evicts completed entries least-recently-used-first until
+// the store fits its budget (or only in-flight entries remain).
+// Callers hold st.mu.
+func (st *annotStore) evictLocked() {
+	if st.budget <= 0 {
+		return
+	}
+	for st.usedBytes > st.budget {
+		const (
+			kindNone = iota
+			kindMem
+			kindBr
+			kindTiming
+		)
+		kind, oldest := kindNone, int64(0)
+		var (
+			memK cache.HierarchyConfig
+			brK  uarch.PredictorKind
+			timK timingKey
+		)
+		better := func(lastUse int64) bool { return kind == kindNone || lastUse < oldest }
+		for k, e := range st.mem {
+			if entryDone(e) && better(e.lastUse) {
+				kind, oldest, memK = kindMem, e.lastUse, k
+			}
+		}
+		for k, e := range st.br {
+			if entryDone(e) && better(e.lastUse) {
+				kind, oldest, brK = kindBr, e.lastUse, k
+			}
+		}
+		for k, e := range st.timing {
+			if entryDone(e) && better(e.lastUse) {
+				kind, oldest, timK = kindTiming, e.lastUse, k
+			}
+		}
+		switch kind {
+		case kindNone:
+			return // everything resident is in flight; retry on next publish
+		case kindMem:
+			st.releaseLocked(st.mem[memK].val.Classes)
+			st.usedBytes -= annotEntryOverheadBytes
+			delete(st.mem, memK)
+		case kindBr:
+			st.releaseLocked(st.br[brK].val)
+			st.usedBytes -= annotEntryOverheadBytes
+			delete(st.br, brK)
+		case kindTiming:
+			st.releaseLocked(timK.mem)
+			st.releaseLocked(timK.br)
+			st.usedBytes -= timingEntryOverheadBytes
+			delete(st.timing, timK)
+		}
+		st.evictions++
+	}
 }
 
 // timingKey captures every input of SimulateAnnotated other than the
@@ -252,6 +477,7 @@ func (pw *Profiled) EnsureAnnotated(cfgs []uarch.Config, workers int) error {
 	)
 	for _, cfg := range cfgs {
 		if e, ok := st.mem[cfg.Hier]; ok {
+			st.touchLocked(&e.lastUse)
 			if claimed[cfg.Hier] == nil {
 				waitH = append(waitH, e)
 			}
@@ -262,6 +488,7 @@ func (pw *Profiled) EnsureAnnotated(cfgs []uarch.Config, workers int) error {
 			mineH = append(mineH, cfg.Hier)
 		}
 		if e, ok := st.br[cfg.Predictor]; ok {
+			st.touchLocked(&e.lastUse)
 			if claimedP[cfg.Predictor] == nil {
 				waitP = append(waitP, e)
 			}
@@ -272,33 +499,16 @@ func (pw *Profiled) EnsureAnnotated(cfgs []uarch.Config, workers int) error {
 			mineP = append(mineP, cfg.Predictor)
 		}
 	}
-	// Snapshot the planes of already-completed entries — but only when
-	// this call actually claimed annotation work: a newly computed
-	// plane equal to a cached one canonicalizes onto it, so timing
-	// memoization keeps sharing replays across batches. Pure cache-hit
-	// calls (every per-point call after the up-front annotation pass)
-	// skip the walk entirely.
+	// Snapshot canonicalization seeds — but only when this call
+	// actually claimed annotation work: a newly computed plane equal
+	// to a charged one canonicalizes onto it, so timing memoization
+	// keeps sharing replays across batches. Pure cache-hit calls
+	// (every per-point call after the up-front annotation pass) skip
+	// the walk entirely.
 	var memSeeds []*trace.BytePlane
 	var brSeeds []*trace.BitPlane
 	if len(mineH)+len(mineP) > 0 {
-		for _, e := range st.mem {
-			select {
-			case <-e.done:
-				if e.err == nil && e.val != nil {
-					memSeeds = append(memSeeds, e.val.Classes)
-				}
-			default:
-			}
-		}
-		for _, e := range st.br {
-			select {
-			case <-e.done:
-				if e.err == nil && e.val != nil {
-					brSeeds = append(brSeeds, e.val)
-				}
-			default:
-			}
-		}
+		memSeeds, brSeeds = st.seedsLocked()
 	}
 	st.mu.Unlock()
 
@@ -309,68 +519,80 @@ func (pw *Profiled) EnsureAnnotated(cfgs []uarch.Config, workers int) error {
 		frontRes := make([]map[cache.HierarchyConfig]*MemPlane, nf)
 		frontErr := make([]error, nf)
 		brRes := make([]*trace.BitPlane, len(mineP))
+		brErr := make([]error, len(mineP))
 		// One pool for cache fronts and predictors together: the
 		// traversals are independent, so none serializes behind the
-		// others. Per-task errors are recorded, not returned, so one
-		// bad hierarchy cannot fail unrelated components.
+		// others. Per-task errors (including converted panics) are
+		// recorded, not returned, so one bad hierarchy cannot fail
+		// unrelated components.
 		_ = par.ForEach(workers, nf+len(mineP), func(i int) error {
 			if i < nf {
-				frontRes[i], frontErr[i] = annotateFront(pw.Trace, fronts[i], byFront[fronts[i]])
+				frontRes[i], frontErr[i] = safeAnnotateFront(pw.Trace, fronts[i], byFront[fronts[i]])
 			} else {
-				brRes[i-nf] = branch.AnnotateMispredicts(pw.Trace, mineP[i-nf].New())
-				branchAnnotates.Add(1)
+				brRes[i-nf], brErr[i-nf] = safeAnnotateBranch(pw.Trace, mineP[i-nf])
 			}
 			return nil
 		})
 
-		var failedH []cache.HierarchyConfig
+		// Canonicalize outside the lock (plane comparison walks whole
+		// chunks), then publish, charge and budget-evict under it.
+		for i, f := range fronts {
+			if frontErr[i] != nil {
+				continue
+			}
+			for _, h := range byFront[f] {
+				mp := frontRes[i][h]
+				mp.Classes = canonicalize(memSeeds, mp.Classes)
+				memSeeds = append(memSeeds, mp.Classes)
+			}
+		}
+		for i := range mineP {
+			if brErr[i] != nil {
+				continue
+			}
+			brRes[i] = canonicalize(brSeeds, brRes[i])
+			brSeeds = append(brSeeds, brRes[i])
+		}
+
+		st.mu.Lock()
 		for i, f := range fronts {
 			for _, h := range byFront[f] {
 				e := claimed[h]
 				if frontErr[i] != nil {
+					// Failed entries are removed so a later call can
+					// retry; waiters of this batch observe the error.
 					e.err = frontErr[i]
-					failedH = append(failedH, h)
 					if firstErr == nil {
 						firstErr = frontErr[i]
 					}
-				} else {
-					mp := frontRes[i][h]
-					for _, c := range memSeeds {
-						if c.Equal(mp.Classes) {
-							mp.Classes = c
-							break
-						}
+					if st.mem[h] == e {
+						delete(st.mem, h)
 					}
-					memSeeds = append(memSeeds, mp.Classes)
-					e.val = mp
+				} else {
+					e.val = frontRes[i][h]
+					st.chargeMemLocked(e)
 				}
 				close(e.done)
 			}
 		}
 		for i, pk := range mineP {
-			p := brRes[i]
-			for _, c := range brSeeds {
-				if c.Equal(p) {
-					p = c
-					break
-				}
-			}
-			brSeeds = append(brSeeds, p)
 			e := claimedP[pk]
-			e.val = p
+			if brErr[i] != nil {
+				e.err = brErr[i]
+				if firstErr == nil {
+					firstErr = brErr[i]
+				}
+				if st.br[pk] == e {
+					delete(st.br, pk)
+				}
+			} else {
+				e.val = brRes[i]
+				st.chargeBrLocked(e)
+			}
 			close(e.done)
 		}
-		if len(failedH) > 0 {
-			// Evict failed entries: waiters of this batch observe the
-			// error, later calls recompute.
-			st.mu.Lock()
-			for _, h := range failedH {
-				if st.mem[h] == claimed[h] {
-					delete(st.mem, h)
-				}
-			}
-			st.mu.Unlock()
-		}
+		st.evictLocked()
+		st.mu.Unlock()
 	}
 	for _, e := range waitH {
 		<-e.done
@@ -388,25 +610,114 @@ func (pw *Profiled) EnsureAnnotated(cfgs []uarch.Config, workers int) error {
 }
 
 // Annotation returns the annotation planes for one design point,
-// computing and caching them if needed.
+// computing and caching them if needed (singleflight per component).
+// The claimed entries' values are returned directly, so the result is
+// valid even if a tight byte budget evicts the cache entries
+// immediately: the planes are computed exactly once per call and never
+// thrown away unread. The claim/seed/publish discipline mirrors the
+// batched EnsureAnnotated — changes to charging, canonicalization or
+// error eviction must be applied to both.
 func (pw *Profiled) Annotation(cfg uarch.Config) (pipeline.Annotation, error) {
-	if err := pw.EnsureAnnotated([]uarch.Config{cfg}, 1); err != nil {
-		return pipeline.Annotation{}, err
-	}
 	st := &pw.annot
 	st.mu.Lock()
-	me := st.mem[cfg.Hier]
-	be := st.br[cfg.Predictor]
+	if st.mem == nil {
+		st.mem = make(map[cache.HierarchyConfig]*annotEntry[*MemPlane])
+		st.br = make(map[uarch.PredictorKind]*annotEntry[*trace.BitPlane])
+	}
+	me, haveM := st.mem[cfg.Hier]
+	if haveM {
+		st.touchLocked(&me.lastUse)
+	} else {
+		me = &annotEntry[*MemPlane]{done: make(chan struct{})}
+		st.mem[cfg.Hier] = me
+	}
+	be, haveB := st.br[cfg.Predictor]
+	if haveB {
+		st.touchLocked(&be.lastUse)
+	} else {
+		be = &annotEntry[*trace.BitPlane]{done: make(chan struct{})}
+		st.br[cfg.Predictor] = be
+	}
+	var memSeeds []*trace.BytePlane
+	var brSeeds []*trace.BitPlane
+	if !haveM || !haveB {
+		memSeeds, brSeeds = st.seedsLocked()
+	}
 	st.mu.Unlock()
-	<-me.done
-	<-be.done
-	if me.err != nil {
-		return pipeline.Annotation{}, me.err
+
+	// Resolve every claimed piece before any early return: a claimed
+	// entry left unresolved would block its waiters forever.
+	// Canonicalization against already-cached planes happens outside
+	// the lock (the comparison walks whole chunks) so timing
+	// memoization keeps sharing replays.
+	var (
+		mp *MemPlane
+		bp *trace.BitPlane
+	)
+	var memErr, brErr error
+	if !haveB {
+		bp, brErr = safeAnnotateBranch(pw.Trace, cfg.Predictor)
+		st.mu.Lock()
+		if brErr != nil {
+			// Failed entries are removed so a later call can retry.
+			be.err = brErr
+			if st.br[cfg.Predictor] == be {
+				delete(st.br, cfg.Predictor)
+			}
+		} else {
+			bp = canonicalize(brSeeds, bp)
+			be.val = bp
+			st.chargeBrLocked(be)
+		}
+		close(be.done)
+		st.evictLocked()
+		st.mu.Unlock()
 	}
-	if be.err != nil {
-		return pipeline.Annotation{}, be.err
+	if !haveM {
+		// Computed and published with its own outcome even when the
+		// branch half failed: one bad component must not poison the
+		// other's waiters.
+		var part map[cache.HierarchyConfig]*MemPlane
+		part, memErr = safeAnnotateFront(pw.Trace, frontOf(cfg.Hier), []cache.HierarchyConfig{cfg.Hier})
+		if memErr == nil {
+			mp = part[cfg.Hier]
+			mp.Classes = canonicalize(memSeeds, mp.Classes)
+		}
+		st.mu.Lock()
+		if memErr != nil {
+			me.err = memErr
+			if st.mem[cfg.Hier] == me {
+				delete(st.mem, cfg.Hier)
+			}
+		} else {
+			me.val = mp
+			st.chargeMemLocked(me)
+		}
+		close(me.done)
+		st.evictLocked()
+		st.mu.Unlock()
 	}
-	return pipeline.Annotation{Mem: me.val.Classes, MemStats: me.val.Stats, Br: be.val}, nil
+	if memErr != nil {
+		return pipeline.Annotation{}, memErr
+	}
+	if brErr != nil {
+		return pipeline.Annotation{}, brErr
+	}
+	if haveM {
+		<-me.done
+		if me.err != nil {
+			return pipeline.Annotation{}, me.err
+		}
+		mp = me.val
+	}
+	if haveB {
+		<-be.done
+		if be.err != nil {
+			return pipeline.Annotation{}, be.err
+		}
+		bp = be.val
+	}
+	return pipeline.Annotation{Mem: mp.Classes, MemStats: mp.Stats, Br: bp}, nil
 }
 
 // SimulateDetailed runs the detailed cycle-accurate simulation of one
@@ -432,6 +743,8 @@ func (pw *Profiled) SimulateDetailed(cfg uarch.Config) (pipeline.Result, error) 
 	if !ok {
 		e = &annotEntry[pipeline.Result]{done: make(chan struct{})}
 		st.timing[key] = e
+	} else {
+		st.touchLocked(&e.lastUse)
 	}
 	st.mu.Unlock()
 	if ok {
@@ -443,12 +756,51 @@ func (pw *Profiled) SimulateDetailed(cfg uarch.Config) (pipeline.Result, error) 
 		res.Cache = ann.MemStats
 		return res, nil
 	}
-	res, err := pipeline.SimulateAnnotated(pw.Trace, cfg, ann)
+	res, err := safeSimulateAnnotated(pw.Trace, cfg, ann)
+	st.mu.Lock()
 	e.err = err
 	if err == nil {
 		e.val = res
 		e.val.Cache = cache.Stats{} // stamped per configuration on reuse
+		st.chargeTimingLocked(key, e)
+	} else if st.timing[key] == e {
+		// Failed entries are removed so a later call can retry.
+		delete(st.timing, key)
 	}
 	close(e.done)
+	st.evictLocked()
+	st.mu.Unlock()
 	return res, err
+}
+
+// SetAnnotBudget bounds the resident bytes of the annotation-plane and
+// memoized-timing cache: whenever charged bytes exceed the budget,
+// completed entries are evicted least-recently-used-first (shared
+// canonicalized planes are uncharged only when their last referencing
+// entry goes). bytes ≤ 0 removes the bound. Evicted components are
+// recomputed transparently on next use.
+func (pw *Profiled) SetAnnotBudget(bytes int64) {
+	st := &pw.annot
+	st.mu.Lock()
+	st.budget = bytes
+	st.evictLocked()
+	st.mu.Unlock()
+}
+
+// AnnotBytes returns the bytes currently charged for resident
+// annotation planes and memoized timing results.
+func (pw *Profiled) AnnotBytes() int64 {
+	st := &pw.annot
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.usedBytes
+}
+
+// AnnotEvictions returns how many cache entries the byte budget has
+// evicted from this workload's annotation store.
+func (pw *Profiled) AnnotEvictions() int64 {
+	st := &pw.annot
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.evictions
 }

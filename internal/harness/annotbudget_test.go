@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+// budgetSpaceConfigs is a small slice of the Table 2 space covering
+// several distinct hierarchies, predictors and timing parameters.
+func budgetSpaceConfigs() []uarch.Config {
+	base := uarch.Default()
+	return []uarch.Config{
+		base,
+		base.WithL2(128, 8),
+		base.WithL2(1024, 16),
+		base.WithWidth(2),
+		base.WithPredictor(uarch.PredHybrid3_5KB),
+		base.WithWidth(1).WithL2(256, 16).WithPredictor(uarch.PredHybrid3_5KB),
+	}
+}
+
+// TestAnnotBudgetKeepsBytesBounded pins the eviction contract: with
+// any byte budget — including one smaller than a single plane — the
+// resident cache bytes never exceed the budget after a request
+// completes, evictions actually happen, and every simulation stays
+// bit-identical to the unbounded path.
+func TestAnnotBudgetKeepsBytesBounded(t *testing.T) {
+	spec, err := workloads.ByName("crc32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int64{32 << 10, 1 << 30} {
+		pw := MustProfileProgram(spec.Build())
+		pw.SetAnnotBudget(budget)
+		for _, cfg := range budgetSpaceConfigs() {
+			got, err := pw.SimulateDetailed(cfg)
+			if err != nil {
+				t.Fatalf("budget %d, cfg %s: %v", budget, cfg, err)
+			}
+			want, err := pipeline.Simulate(pw.Trace, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("budget %d, cfg %s: SimulateDetailed diverges under eviction:\n got  %+v\n want %+v",
+					budget, cfg, got, want)
+			}
+			if used := pw.AnnotBytes(); used > budget {
+				t.Fatalf("budget %d: resident bytes %d exceed budget", budget, used)
+			}
+		}
+		if budget < 1<<20 && pw.AnnotEvictions() == 0 {
+			t.Errorf("tiny budget %d evicted nothing", budget)
+		}
+		if budget == 1<<30 && pw.AnnotEvictions() != 0 {
+			t.Errorf("large budget %d evicted %d entries, want 0", budget, pw.AnnotEvictions())
+		}
+	}
+}
+
+// TestAnnotBudgetUnsetNeverEvicts pins backward compatibility: without
+// SetAnnotBudget the store grows as before and never evicts, so the
+// exploration-sharing invariants of earlier PRs are untouched.
+func TestAnnotBudgetUnsetNeverEvicts(t *testing.T) {
+	spec, err := workloads.ByName("crc32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw := MustProfileProgram(spec.Build())
+	for _, cfg := range budgetSpaceConfigs() {
+		if _, err := pw.SimulateDetailed(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pw.AnnotEvictions() != 0 {
+		t.Fatalf("unbounded store evicted %d entries", pw.AnnotEvictions())
+	}
+	if pw.AnnotBytes() == 0 {
+		t.Fatal("accounting recorded zero bytes for a populated store")
+	}
+}
+
+// TestSetAnnotBudgetEvictsRetroactively pins that lowering the budget
+// on a populated store evicts immediately.
+func TestSetAnnotBudgetEvictsRetroactively(t *testing.T) {
+	spec, err := workloads.ByName("crc32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw := MustProfileProgram(spec.Build())
+	for _, cfg := range budgetSpaceConfigs() {
+		if _, err := pw.SimulateDetailed(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := pw.AnnotBytes()
+	if grown == 0 {
+		t.Fatal("store empty before budget change")
+	}
+	const budget = 16 << 10
+	pw.SetAnnotBudget(budget)
+	if used := pw.AnnotBytes(); used > budget {
+		t.Fatalf("resident bytes %d exceed new budget %d", used, budget)
+	}
+	if pw.AnnotEvictions() == 0 {
+		t.Fatal("no evictions after budget drop")
+	}
+	// The store keeps answering correctly after the purge.
+	cfg := uarch.Default()
+	got, err := pw.SimulateDetailed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pipeline.Simulate(pw.Trace, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("post-purge SimulateDetailed diverges:\n got  %+v\n want %+v", got, want)
+	}
+}

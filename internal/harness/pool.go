@@ -1,0 +1,234 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PoolOptions bounds a workload Pool.
+type PoolOptions struct {
+	// MaxWorkloads is the maximum number of resident Profiled
+	// workloads; admitting one more evicts the least recently used
+	// completed entry. ≤ 0 means unbounded.
+	MaxWorkloads int
+	// MaxPlaneBytes is the annotation-plane/timing-memo byte budget.
+	// With MaxWorkloads > 0 each admitted workload receives an equal
+	// slice (see Profiled.SetAnnotBudget), so the resident total stays
+	// under MaxPlaneBytes; with MaxWorkloads ≤ 0 the budget applies
+	// per workload (an unbounded workload count has no fixed slice).
+	// ≤ 0 means unbounded.
+	MaxPlaneBytes int64
+}
+
+// PoolStats is a snapshot of a Pool's counters. The json tags shape
+// the service's /metrics output.
+type PoolStats struct {
+	Hits       int64 `json:"hits"`        // Get calls answered by a resident (or in-flight) entry
+	Misses     int64 `json:"misses"`      // Get calls that had to admit a new entry
+	Evictions  int64 `json:"evictions"`   // workloads evicted by the MaxWorkloads bound
+	Profiles   int64 `json:"profiles"`    // profiling runs executed (== Misses: each admission runs one)
+	Resident   int   `json:"resident"`    // completed workloads currently resident
+	InFlight   int   `json:"in_flight"`   // admissions currently profiling
+	PlaneBytes int64 `json:"plane_bytes"` // annotation/timing bytes resident across all workloads
+}
+
+// Pool is a bounded, concurrent cache of Profiled workloads — the
+// resource-management layer behind a long-running prediction service.
+// Admission is singleflight (concurrent Gets for the same name profile
+// it once, everyone waits on that run), residency is LRU-bounded by
+// MaxWorkloads, and each resident workload's annotation store is given
+// an equal slice of MaxPlaneBytes so total plane/timing memory stays
+// under the budget no matter how many design points are served.
+type Pool struct {
+	mu      sync.Mutex
+	opt     PoolOptions
+	entries map[string]*poolEntry
+	clock   int64
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type poolEntry struct {
+	done    chan struct{}
+	pw      *Profiled
+	err     error
+	lastUse int64
+}
+
+// NewPool creates a Pool with the given bounds.
+func NewPool(opt PoolOptions) *Pool {
+	return &Pool{opt: opt, entries: make(map[string]*poolEntry)}
+}
+
+// perWorkloadBudget is the annotation-byte slice each resident
+// workload receives so the resident total stays under MaxPlaneBytes.
+func (p *Pool) perWorkloadBudget() int64 {
+	if p.opt.MaxPlaneBytes <= 0 {
+		return 0
+	}
+	if p.opt.MaxWorkloads <= 0 {
+		return p.opt.MaxPlaneBytes
+	}
+	b := p.opt.MaxPlaneBytes / int64(p.opt.MaxWorkloads)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// Get returns the profiled workload named name, admitting it via
+// profile if absent. Concurrent calls for an absent name share one
+// profiling run. A failed profiling run is not cached; the next call
+// retries.
+func (p *Pool) Get(name string, profile func() (*Profiled, error)) (*Profiled, error) {
+	p.mu.Lock()
+	e, ok := p.entries[name]
+	if ok {
+		p.hits++
+		p.clock++
+		e.lastUse = p.clock
+		p.mu.Unlock()
+		<-e.done
+		return e.pw, e.err
+	}
+	p.misses++
+	e = &poolEntry{done: make(chan struct{})}
+	p.clock++
+	e.lastUse = p.clock
+	p.entries[name] = e
+	// Eviction waits for completion (below): evicting a healthy
+	// resident now would destroy profiling work before knowing whether
+	// this admission even succeeds, and the transient in-flight
+	// overflow is bounded by the number of concurrent cold requests.
+	p.mu.Unlock()
+
+	// The profile func runs arbitrary workload-build code; convert a
+	// panic into a failed admission so the entry is always resolved —
+	// an unclosed done channel would wedge every future Get for this
+	// name (net/http recovers handler panics, so a long-running service
+	// would otherwise keep the dead entry forever).
+	pw, err := func() (pw *Profiled, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				pw, err = nil, fmt.Errorf("harness: profiling %q panicked: %v", name, r)
+			}
+		}()
+		return profile()
+	}()
+	if err == nil && pw == nil {
+		err = fmt.Errorf("harness: pool profile func for %q returned no workload", name)
+	}
+	if err == nil {
+		pw.SetAnnotBudget(p.perWorkloadBudget())
+	}
+
+	p.mu.Lock()
+	e.pw, e.err = pw, err
+	if err != nil && p.entries[name] == e {
+		delete(p.entries, name)
+	}
+	close(e.done)
+	// Re-enforce the bound now that this admission completed:
+	// concurrent cold misses can push the pool past MaxWorkloads while
+	// every entry is still in flight (nothing is evictable then), and
+	// without this pass the excess would stay resident until the next
+	// cold miss.
+	p.evictLocked(e)
+	p.mu.Unlock()
+	return pw, err
+}
+
+// evictLocked enforces MaxWorkloads, evicting completed entries
+// least-recently-used-first. The just-admitted entry keep is never
+// evicted; in-flight admissions are skipped (they are bounded by the
+// number of concurrent Get callers and complete quickly). Callers hold
+// p.mu.
+func (p *Pool) evictLocked(keep *poolEntry) {
+	if p.opt.MaxWorkloads <= 0 {
+		return
+	}
+	for len(p.entries) > p.opt.MaxWorkloads {
+		var (
+			victim string
+			found  bool
+			oldest int64
+		)
+		for name, e := range p.entries {
+			if e == keep {
+				continue
+			}
+			select {
+			case <-e.done:
+			default:
+				continue // in flight
+			}
+			if !found || e.lastUse < oldest {
+				victim, oldest, found = name, e.lastUse, true
+			}
+		}
+		if !found {
+			return
+		}
+		delete(p.entries, victim)
+		p.evictions++
+	}
+}
+
+// ProfileCount returns the number of profiling runs the pool has
+// executed: every miss admits exactly one run (singleflight), so this
+// is the miss counter — concurrent requests for one benchmark count a
+// single profile.
+func (p *Pool) ProfileCount() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.misses
+}
+
+// Resident reports whether a completed workload is currently resident.
+func (p *Pool) Resident(name string) bool {
+	p.mu.Lock()
+	e, ok := p.entries[name]
+	p.mu.Unlock()
+	if !ok {
+		return false
+	}
+	select {
+	case <-e.done:
+		return e.err == nil
+	default:
+		return false
+	}
+}
+
+// Stats snapshots the pool's counters. The per-workload byte totals
+// are summed after releasing p.mu: AnnotBytes takes each workload's
+// annotation-store lock, and holding p.mu across those would serialize
+// every concurrent Get behind a metrics scrape.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	s := PoolStats{
+		Hits:      p.hits,
+		Misses:    p.misses,
+		Evictions: p.evictions,
+		Profiles:  p.misses,
+	}
+	var resident []*Profiled
+	for _, e := range p.entries {
+		select {
+		case <-e.done:
+			if e.err == nil {
+				s.Resident++
+				resident = append(resident, e.pw)
+			}
+		default:
+			s.InFlight++
+		}
+	}
+	p.mu.Unlock()
+	for _, pw := range resident {
+		s.PlaneBytes += pw.AnnotBytes()
+	}
+	return s
+}

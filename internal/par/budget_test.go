@@ -1,0 +1,117 @@
+package par
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBudgetAcquireGrabsUpToMax(t *testing.T) {
+	b := NewBudget(4)
+	n, err := b.Acquire(context.Background(), 3)
+	if err != nil || n != 3 {
+		t.Fatalf("Acquire(3) = %d, %v; want 3 tokens", n, err)
+	}
+	if got := b.InUse(); got != 3 {
+		t.Fatalf("InUse = %d, want 3", got)
+	}
+	// Only one token left: a greedy acquire gets exactly it.
+	n2, err := b.Acquire(context.Background(), 8)
+	if err != nil || n2 != 1 {
+		t.Fatalf("Acquire(8) with 1 left = %d, %v; want 1", n2, err)
+	}
+	b.Release(n)
+	b.Release(n2)
+	if got := b.InUse(); got != 0 {
+		t.Fatalf("InUse after release = %d, want 0", got)
+	}
+}
+
+func TestBudgetGuaranteesProgressUnderBigRequest(t *testing.T) {
+	// One request holding most of the pot must not starve another:
+	// the second acquire gets the remaining token immediately, and
+	// blocks (rather than failing) when the pot is fully drained until
+	// a release.
+	b := NewBudget(2)
+	big, err := b.Acquire(context.Background(), 2)
+	if err != nil || big != 2 {
+		t.Fatalf("big Acquire = %d, %v", big, err)
+	}
+	done := make(chan int)
+	go func() {
+		n, err := b.Acquire(context.Background(), 1)
+		if err != nil {
+			t.Errorf("small Acquire: %v", err)
+		}
+		done <- n
+	}()
+	select {
+	case <-done:
+		t.Fatal("small acquire succeeded while pot was drained")
+	case <-time.After(20 * time.Millisecond):
+	}
+	b.Release(1)
+	select {
+	case n := <-done:
+		if n != 1 {
+			t.Fatalf("small Acquire = %d, want 1", n)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("small acquire still blocked after release")
+	}
+	b.Release(big - 1)
+	b.Release(1)
+}
+
+func TestBudgetAcquireHonorsContext(t *testing.T) {
+	b := NewBudget(1)
+	n, _ := b.Acquire(context.Background(), 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if got, err := b.Acquire(ctx, 1); err == nil {
+		t.Fatalf("Acquire on cancelled context returned %d tokens, want error", got)
+	}
+	b.Release(n)
+}
+
+func TestBudgetConcurrentNeverExceedsCap(t *testing.T) {
+	const cap = 3
+	b := NewBudget(cap)
+	var (
+		mu      sync.Mutex
+		inUse   int
+		maxSeen int
+		wg      sync.WaitGroup
+	)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				n, err := b.Acquire(context.Background(), 2)
+				if err != nil {
+					t.Errorf("Acquire: %v", err)
+					return
+				}
+				mu.Lock()
+				inUse += n
+				if inUse > maxSeen {
+					maxSeen = inUse
+				}
+				mu.Unlock()
+				mu.Lock()
+				inUse -= n
+				mu.Unlock()
+				b.Release(n)
+			}
+		}()
+	}
+	wg.Wait()
+	if maxSeen > cap {
+		t.Fatalf("observed %d tokens in use, cap %d", maxSeen, cap)
+	}
+	if b.InUse() != 0 {
+		t.Fatalf("InUse after all releases = %d", b.InUse())
+	}
+}

@@ -1,0 +1,612 @@
+// Package service implements modeld's HTTP/JSON API: a long-running
+// prediction service around the paper's workflow. A workload is
+// profiled once on first request (singleflight, LRU-bounded via
+// harness.Pool), after which any design-point question — a single
+// prediction, a full or filtered Table 2 exploration, optionally
+// validated through the annotation-plane fast path — is answered from
+// the resident trace in microseconds-to-milliseconds. Results are
+// bit-identical to the cmd/inorder-model and cmd/dse-explore CLIs: the
+// handlers call the exact same harness/dse entry points.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/dse"
+	"repro/internal/harness"
+	"repro/internal/par"
+	"repro/internal/power"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+// Config bounds and sizes a Server.
+type Config struct {
+	// MaxWorkloads bounds resident profiled workloads (LRU eviction);
+	// ≤ 0 means unbounded.
+	MaxWorkloads int
+	// MaxPlaneBytes bounds resident annotation-plane and
+	// memoized-timing bytes: a total across all workloads when
+	// MaxWorkloads > 0 (each gets an equal slice), per workload when
+	// the workload count is unbounded. ≤ 0 means unbounded.
+	MaxPlaneBytes int64
+	// Workers is the total worker-token pot shared by all in-flight
+	// requests; ≤ 0 means the process default (GOMAXPROCS).
+	Workers int
+	// ExploreWorkers caps the tokens one /v1/explore request may hold,
+	// so a validated exploration cannot starve concurrent requests;
+	// ≤ 0 means half the pot (minimum 1).
+	ExploreWorkers int
+	// MinDynInsts is the dynamic-instruction floor used when profiling
+	// (the -dyninsts scaling knob); ≤ 0 means one run.
+	MinDynInsts int64
+}
+
+// Server serves the modeld API. Create with New and mount Handler.
+type Server struct {
+	cfg    Config
+	pool   *harness.Pool
+	budget *par.Budget
+	pm     power.Model
+	mux    *http.ServeMux
+
+	reqPredict   atomic.Int64
+	reqExplore   atomic.Int64
+	reqWorkloads atomic.Int64
+	reqHealth    atomic.Int64
+	reqMetrics   atomic.Int64
+	errCount     atomic.Int64
+	inFlight     atomic.Int64
+}
+
+// New builds a Server with the given bounds.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg: cfg,
+		pool: harness.NewPool(harness.PoolOptions{
+			MaxWorkloads:  cfg.MaxWorkloads,
+			MaxPlaneBytes: cfg.MaxPlaneBytes,
+		}),
+		budget: par.NewBudget(cfg.Workers),
+		pm:     power.NewModel(),
+		mux:    http.NewServeMux(),
+	}
+	if s.cfg.ExploreWorkers <= 0 {
+		s.cfg.ExploreWorkers = s.budget.Cap() / 2
+	}
+	if s.cfg.ExploreWorkers < 1 {
+		s.cfg.ExploreWorkers = 1
+	}
+	s.mux.HandleFunc("GET /v1/predict", s.count(&s.reqPredict, s.handlePredict))
+	s.mux.HandleFunc("GET /v1/explore", s.count(&s.reqExplore, s.handleExplore))
+	s.mux.HandleFunc("GET /v1/workloads", s.count(&s.reqWorkloads, s.handleWorkloads))
+	s.mux.HandleFunc("GET /healthz", s.count(&s.reqHealth, s.handleHealth))
+	s.mux.HandleFunc("GET /metrics", s.count(&s.reqMetrics, s.handleMetrics))
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Pool exposes the workload cache (tests assert its counters).
+func (s *Server) Pool() *harness.Pool { return s.pool }
+
+func (s *Server) count(c *atomic.Int64, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		c.Add(1)
+		s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
+		h(w, r)
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeErr(w http.ResponseWriter, code int, err error) {
+	s.errCount.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// profiled resolves a benchmark through the bounded workload pool,
+// returning the HTTP status for failures: an unknown name is the
+// client's mistake (404), a failed profiling run is ours (500). The
+// profiling run itself holds one worker token — CPU-heavy admission
+// work is bounded by the pot — but singleflight waiters park
+// tokenless, so requests for resident benchmarks are never stalled
+// behind an unrelated profiling queue.
+func (s *Server) profiled(name string) (*harness.Profiled, int, error) {
+	spec, err := workloads.ByName(name)
+	if err != nil {
+		return nil, http.StatusNotFound, err
+	}
+	pw, err := s.pool.Get(name, func() (*harness.Profiled, error) {
+		// Detached from the admitting request's context: the run is
+		// shared by every singleflight waiter, so one client's
+		// disconnect must not fail the others' healthy requests.
+		n, err := s.budget.Acquire(context.Background(), 1)
+		if err != nil {
+			return nil, err
+		}
+		defer s.budget.Release(n)
+		return harness.ProfileProgramScaled(spec.Build(), s.cfg.MinDynInsts)
+	})
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	return pw, http.StatusOK, nil
+}
+
+// checkParams rejects query parameters outside the endpoint's
+// contract: a misspelled name (predictor=, l2_kb=) would otherwise be
+// silently dropped and its default substituted — wrong numbers with a
+// 200, from a service whose decoding is strict everywhere else.
+func checkParams(r *http.Request, allowed ...string) error {
+	for k := range r.URL.Query() {
+		ok := false
+		for _, a := range allowed {
+			ok = ok || a == k
+		}
+		if !ok {
+			return fmt.Errorf("unknown parameter %q (allowed: %v)", k, allowed)
+		}
+	}
+	return nil
+}
+
+// boolParam parses a boolean query parameter (absent means false),
+// rejecting unparsable spellings with an error — consistent with the
+// strict Table 2 decoding of the numeric parameters.
+func boolParam(r *http.Request, name string) (bool, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return false, nil
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return false, fmt.Errorf("parameter %s=%q is not a boolean", name, v)
+	}
+	return b, nil
+}
+
+// intParam parses an integer query parameter, returning def when
+// absent.
+func intParam(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s=%q is not an integer", name, v)
+	}
+	return n, nil
+}
+
+// decodeConfig builds the requested design point from query
+// parameters, validated against the Table 2 domain by the same
+// uarch.Table2Config validator cmd/inorder-model uses.
+func decodeConfig(r *http.Request) (uarch.Config, error) {
+	width, err := intParam(r, "width", 4)
+	if err != nil {
+		return uarch.Config{}, err
+	}
+	stages, err := intParam(r, "stages", 9)
+	if err != nil {
+		return uarch.Config{}, err
+	}
+	l2kb, err := intParam(r, "l2kb", 512)
+	if err != nil {
+		return uarch.Config{}, err
+	}
+	l2ways, err := intParam(r, "l2ways", 8)
+	if err != nil {
+		return uarch.Config{}, err
+	}
+	pred := r.URL.Query().Get("pred")
+	if pred == "" {
+		pred = "gshare"
+	}
+	return uarch.Table2Config(uarch.Default(), width, stages, l2kb, l2ways, pred)
+}
+
+// ConfigJSON describes one design point in a response.
+type ConfigJSON struct {
+	Name      string `json:"name"`
+	Width     int    `json:"width"`
+	Stages    int    `json:"stages"`
+	FreqMHz   int    `json:"freq_mhz"`
+	L2KB      int64  `json:"l2_kb"`
+	L2Ways    int    `json:"l2_ways"`
+	Predictor string `json:"predictor"`
+}
+
+func configJSON(cfg uarch.Config) ConfigJSON {
+	return ConfigJSON{
+		Name:      cfg.String(),
+		Width:     cfg.Width,
+		Stages:    cfg.PipelineStages(),
+		FreqMHz:   cfg.FreqMHz,
+		L2KB:      cfg.Hier.L2.SizeBytes / uarch.KB,
+		L2Ways:    cfg.Hier.L2.Ways,
+		Predictor: uarch.PredictorName(cfg.Predictor),
+	}
+}
+
+// ModelJSON is the mechanistic model's answer for one design point.
+type ModelJSON struct {
+	Cycles   float64            `json:"cycles"`
+	CPI      float64            `json:"cpi"`
+	Seconds  float64            `json:"seconds"`
+	CPIStack map[string]float64 `json:"cpi_stack"`
+}
+
+// SimJSON is the detailed simulator's reference for one design point.
+type SimJSON struct {
+	Cycles        int64   `json:"cycles"`
+	CPI           float64 `json:"cpi"`
+	CPIErrPercent float64 `json:"cpi_err_percent"`
+}
+
+// PredictResponse answers /v1/predict.
+type PredictResponse struct {
+	Benchmark    string     `json:"benchmark"`
+	Instructions int64      `json:"instructions"`
+	Config       ConfigJSON `json:"config"`
+	Model        ModelJSON  `json:"model"`
+	Sim          *SimJSON   `json:"sim,omitempty"`
+}
+
+// handlePredict serves one (benchmark, design point) prediction —
+// the service form of `inorder-model -bench B -width ... [-validate]`.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if err := checkParams(r, "bench", "width", "stages", "l2kb", "l2ways", "pred", "validate"); err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	bench := r.URL.Query().Get("bench")
+	if bench == "" {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("missing required parameter bench"))
+		return
+	}
+	cfg, err := decodeConfig(r)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	validate, err := boolParam(r, "validate")
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	pw, code, err := s.profiled(bench)
+	if err != nil {
+		s.writeErr(w, code, err)
+		return
+	}
+	n, err := s.budget.Acquire(r.Context(), 1)
+	if err != nil {
+		s.writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer s.budget.Release(n)
+
+	st, err := pw.Predict(cfg)
+	if err != nil {
+		s.writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	stack := make(map[string]float64)
+	for c := core.Component(0); c < core.NumComponents; c++ {
+		if st.Cycles[c] != 0 {
+			stack[c.String()] = st.CPIOf(c)
+		}
+	}
+	resp := PredictResponse{
+		Benchmark:    bench,
+		Instructions: pw.Prof.N,
+		Config:       configJSON(cfg),
+		Model: ModelJSON{
+			Cycles:   st.Total(),
+			CPI:      st.CPI(),
+			Seconds:  cfg.Seconds(st.Total()),
+			CPIStack: stack,
+		},
+	}
+	if validate {
+		sim, err := pw.SimulateDetailed(cfg)
+		if err != nil {
+			s.writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		sj := &SimJSON{Cycles: sim.Cycles, CPI: sim.CPI()}
+		if sim.CPI() != 0 {
+			sj.CPIErrPercent = 100 * abs(st.CPI()-sim.CPI()) / sim.CPI()
+		}
+		resp.Sim = sj
+	}
+	s.writeJSON(w, resp)
+}
+
+// ExplorePoint is one design point of an exploration response. Errors
+// are reported in percent, matching /v1/predict and the response
+// summary.
+type ExplorePoint struct {
+	Name          string  `json:"name"`
+	ModelCPI      float64 `json:"model_cpi"`
+	ModelEDP      float64 `json:"model_edp"`
+	ModelCycles   float64 `json:"model_cycles"`
+	SimCPI        float64 `json:"sim_cpi,omitempty"`
+	SimEDP        float64 `json:"sim_edp,omitempty"`
+	SimCycles     int64   `json:"sim_cycles,omitempty"`
+	CPIErrPercent float64 `json:"cpi_err_percent"`
+}
+
+// ExploreResponse answers /v1/explore.
+type ExploreResponse struct {
+	Benchmark     string         `json:"benchmark"`
+	Count         int            `json:"count"`
+	Validated     bool           `json:"validated"`
+	Workers       int            `json:"workers"`
+	ModelBest     string         `json:"model_best"`
+	SimBest       string         `json:"sim_best,omitempty"`
+	AvgErrPercent float64        `json:"avg_err_percent"`
+	MaxErrPercent float64        `json:"max_err_percent"`
+	Points        []ExplorePoint `json:"points"`
+}
+
+// spaceFilter narrows the Table 2 space by optional query parameters.
+// Each present parameter must itself be a Table 2 value.
+func spaceFilter(r *http.Request) ([]uarch.Config, error) {
+	space := dse.Space(uarch.Default())
+	for _, f := range []struct {
+		param  string
+		domain []int
+		get    func(uarch.Config) int
+	}{
+		{"width", uarch.Table2Widths(), func(c uarch.Config) int { return c.Width }},
+		{"stages", uarch.Table2Stages(), func(c uarch.Config) int { return c.PipelineStages() }},
+		{"l2kb", uarch.Table2L2SizesKB(), func(c uarch.Config) int { return int(c.Hier.L2.SizeBytes / uarch.KB) }},
+		{"l2ways", uarch.Table2L2Ways(), func(c uarch.Config) int { return c.Hier.L2.Ways }},
+	} {
+		v := r.URL.Query().Get(f.param)
+		if v == "" {
+			continue
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("parameter %s=%q is not an integer", f.param, v)
+		}
+		ok := false
+		for _, d := range f.domain {
+			ok = ok || d == n
+		}
+		if !ok {
+			return nil, fmt.Errorf("parameter %s=%d outside the Table 2 domain %v", f.param, n, f.domain)
+		}
+		var kept []uarch.Config
+		for _, c := range space {
+			if f.get(c) == n {
+				kept = append(kept, c)
+			}
+		}
+		space = kept
+	}
+	if pred := r.URL.Query().Get("pred"); pred != "" {
+		pk, err := uarch.PredictorByName(pred)
+		if err != nil {
+			return nil, err
+		}
+		var kept []uarch.Config
+		for _, c := range space {
+			if c.Predictor == pk {
+				kept = append(kept, c)
+			}
+		}
+		space = kept
+	}
+	return space, nil
+}
+
+// handleExplore serves a full or filtered Table 2 exploration — the
+// service form of `dse-explore -bench B [-validate]`. With
+// validate=true the detailed simulator runs at every point through the
+// annotation-plane fast path, under the per-request worker budget.
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	if err := checkParams(r, "bench", "width", "stages", "l2kb", "l2ways", "pred", "validate", "top"); err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	bench := r.URL.Query().Get("bench")
+	if bench == "" {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("missing required parameter bench"))
+		return
+	}
+	space, err := spaceFilter(r)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	top, err := intParam(r, "top", 0)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	validate, err := boolParam(r, "validate")
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	pw, code, err := s.profiled(bench)
+	if err != nil {
+		s.writeErr(w, code, err)
+		return
+	}
+
+	// A validated exploration fans out across worker tokens, but may
+	// hold at most ExploreWorkers of them: concurrent requests always
+	// find the rest of the pot.
+	want := 1
+	if validate {
+		// No point holding more tokens than there are design points.
+		want = s.cfg.ExploreWorkers
+		if want > len(space) {
+			want = len(space)
+		}
+		if want < 1 {
+			want = 1
+		}
+	}
+	tokens, err := s.budget.Acquire(r.Context(), want)
+	if err != nil {
+		s.writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer s.budget.Release(tokens)
+
+	var pts []dse.Point
+	if validate {
+		pts, err = dse.ExploreValidated(pw, space, s.pm, tokens)
+	} else {
+		pts, err = dse.Explore(pw, space, s.pm)
+	}
+	if err != nil {
+		s.writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	resp := ExploreResponse{
+		Benchmark: bench,
+		Count:     len(pts),
+		Validated: validate,
+		Workers:   tokens,
+	}
+	mBest, sBest := dse.BestEDP(pts)
+	if mBest >= 0 {
+		resp.ModelBest = pts[mBest].Cfg.Name
+	}
+	if sBest >= 0 {
+		resp.SimBest = pts[sBest].Cfg.Name
+	}
+	out := pts
+	if top > 0 {
+		out = append([]dse.Point(nil), pts...)
+		sort.Slice(out, func(i, j int) bool { return out[i].ModelEDP < out[j].ModelEDP })
+		if top < len(out) {
+			out = out[:top]
+		}
+	}
+	resp.Points = make([]ExplorePoint, len(out))
+	for i, p := range out {
+		ep := ExplorePoint{
+			Name:        p.Cfg.Name,
+			ModelCPI:    p.ModelCPI,
+			ModelEDP:    p.ModelEDP,
+			ModelCycles: p.ModelCycles,
+		}
+		if p.Sim != nil {
+			ep.SimCPI = p.SimCPI
+			ep.SimEDP = p.SimEDP
+			ep.SimCycles = p.Sim.Cycles
+			ep.CPIErrPercent = 100 * p.CPIErr
+		}
+		resp.Points[i] = ep
+	}
+	if validate && len(pts) > 0 {
+		var sum, max float64
+		for _, p := range pts {
+			sum += p.CPIErr
+			if p.CPIErr > max {
+				max = p.CPIErr
+			}
+		}
+		resp.AvgErrPercent = 100 * sum / float64(len(pts))
+		resp.MaxErrPercent = 100 * max
+	}
+	s.writeJSON(w, resp)
+}
+
+// WorkloadInfo is one /v1/workloads row.
+type WorkloadInfo struct {
+	Name     string `json:"name"`
+	Domain   string `json:"domain"`
+	Resident bool   `json:"resident"`
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	var out []WorkloadInfo
+	for _, spec := range workloads.All() {
+		out = append(out, WorkloadInfo{
+			Name:     spec.Name,
+			Domain:   spec.Domain,
+			Resident: s.pool.Resident(spec.Name),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	s.writeJSON(w, map[string]any{"workloads": out})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write([]byte("{\"status\":\"ok\"}\n"))
+}
+
+// Metrics is the expvar-style counter snapshot served at /metrics.
+type Metrics struct {
+	Requests map[string]int64  `json:"requests"`
+	Errors   int64             `json:"errors"`
+	InFlight int64             `json:"in_flight"`
+	Pool     harness.PoolStats `json:"workload_cache"`
+	Workers  struct {
+		Cap        int `json:"cap"`
+		InUse      int `json:"in_use"`
+		PerExplore int `json:"per_explore"`
+	} `json:"workers"`
+	PlaneBudgetBytes int64 `json:"plane_budget_bytes"`
+}
+
+// MetricsSnapshot returns the current counters (also served at
+// /metrics).
+func (s *Server) MetricsSnapshot() Metrics {
+	m := Metrics{
+		Requests: map[string]int64{
+			"predict":   s.reqPredict.Load(),
+			"explore":   s.reqExplore.Load(),
+			"workloads": s.reqWorkloads.Load(),
+			"healthz":   s.reqHealth.Load(),
+			"metrics":   s.reqMetrics.Load(),
+		},
+		Errors:           s.errCount.Load(),
+		InFlight:         s.inFlight.Load(),
+		Pool:             s.pool.Stats(),
+		PlaneBudgetBytes: s.cfg.MaxPlaneBytes,
+	}
+	m.Workers.Cap = s.budget.Cap()
+	m.Workers.InUse = s.budget.InUse()
+	m.Workers.PerExplore = s.cfg.ExploreWorkers
+	return m
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, s.MetricsSnapshot())
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

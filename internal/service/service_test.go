@@ -1,0 +1,297 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/dse"
+	"repro/internal/harness"
+	"repro/internal/power"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+func newTestServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(cfg).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func profiledDirect(t *testing.T, name string) *harness.Profiled {
+	t.Helper()
+	spec, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := harness.ProfileProgram(spec.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pw
+}
+
+// TestPredictMatchesHarness pins the acceptance contract: a validated
+// /v1/predict answer is bit-identical to what the inorder-model CLI
+// computes through pw.Predict and pw.SimulateDetailed. Profiling is
+// deterministic, so an independently profiled reference reproduces the
+// service's floats exactly (JSON round-trips float64 losslessly).
+func TestPredictMatchesHarness(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	var got PredictResponse
+	resp := getJSON(t, ts.URL+"/v1/predict?bench=crc32&width=2&stages=5&l2kb=256&l2ways=16&pred=hybrid&validate=true", &got)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+
+	cfg, err := uarch.Table2Config(uarch.Default(), 2, 5, 256, 16, "hybrid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw := profiledDirect(t, "crc32")
+	st, err := pw.Predict(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := pw.SimulateDetailed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Instructions != pw.Prof.N {
+		t.Errorf("instructions = %d, want %d", got.Instructions, pw.Prof.N)
+	}
+	if got.Model.CPI != st.CPI() || got.Model.Cycles != st.Total() {
+		t.Errorf("model = cycles %v CPI %v, want cycles %v CPI %v",
+			got.Model.Cycles, got.Model.CPI, st.Total(), st.CPI())
+	}
+	if got.Sim == nil {
+		t.Fatal("validate=true returned no sim block")
+	}
+	if got.Sim.Cycles != sim.Cycles || got.Sim.CPI != sim.CPI() {
+		t.Errorf("sim = cycles %d CPI %v, want cycles %d CPI %v",
+			got.Sim.Cycles, got.Sim.CPI, sim.Cycles, sim.CPI())
+	}
+	if got.Config.Width != 2 || got.Config.Stages != 5 || got.Config.L2KB != 256 ||
+		got.Config.L2Ways != 16 || got.Config.Predictor != "hybrid" {
+		t.Errorf("echoed config %+v does not match request", got.Config)
+	}
+}
+
+// TestExploreMatchesDSE pins the exploration contract: a validated,
+// filtered /v1/explore returns exactly dse.ExploreValidated's numbers
+// for the same filtered space, point for point.
+func TestExploreMatchesDSE(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 2})
+	var got ExploreResponse
+	resp := getJSON(t, ts.URL+"/v1/explore?bench=crc32&validate=true&width=2&l2kb=128&pred=gshare", &got)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+
+	var space []uarch.Config
+	for _, c := range dse.Space(uarch.Default()) {
+		if c.Width == 2 && c.Hier.L2.SizeBytes == 128*uarch.KB && c.Predictor == uarch.PredGShare1KB {
+			space = append(space, c)
+		}
+	}
+	if len(space) == 0 || got.Count != len(space) {
+		t.Fatalf("filtered space: service %d points, reference %d", got.Count, len(space))
+	}
+	pw := profiledDirect(t, "crc32")
+	want, err := dse.ExploreValidated(pw, space, power.NewModel(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantByName := make(map[string]dse.Point, len(want))
+	for _, p := range want {
+		wantByName[p.Cfg.Name] = p
+	}
+	mBest, sBest := dse.BestEDP(want)
+	if got.ModelBest != want[mBest].Cfg.Name || got.SimBest != want[sBest].Cfg.Name {
+		t.Errorf("best points %q/%q, want %q/%q",
+			got.ModelBest, got.SimBest, want[mBest].Cfg.Name, want[sBest].Cfg.Name)
+	}
+	for _, gp := range got.Points {
+		wp, ok := wantByName[gp.Name]
+		if !ok {
+			t.Fatalf("service returned unknown point %q", gp.Name)
+		}
+		if gp.ModelCPI != wp.ModelCPI || gp.ModelEDP != wp.ModelEDP ||
+			gp.SimCPI != wp.SimCPI || gp.SimEDP != wp.SimEDP || gp.CPIErrPercent != 100*wp.CPIErr {
+			t.Errorf("point %s diverges:\n got  %+v\n want model %v/%v sim %v/%v err %v",
+				gp.Name, gp, wp.ModelCPI, wp.ModelEDP, wp.SimCPI, wp.SimEDP, wp.CPIErr)
+		}
+	}
+}
+
+// TestPredictSingleflight pins the admission contract end to end:
+// concurrent requests for one benchmark profile it exactly once.
+func TestPredictSingleflight(t *testing.T) {
+	srv := New(Config{MaxWorkloads: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const callers = 12
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/v1/predict?bench=crc32")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := srv.Pool().ProfileCount(); n != 1 {
+		t.Fatalf("%d concurrent predicts ran %d profiling executions, want 1", callers, n)
+	}
+	var m Metrics
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.Pool.Profiles != 1 || m.Requests["predict"] != callers {
+		t.Fatalf("metrics = %+v, want 1 profile and %d predict requests", m, callers)
+	}
+}
+
+// TestWorkloadEviction pins the LRU bound through the HTTP surface.
+func TestWorkloadEviction(t *testing.T) {
+	srv := New(Config{MaxWorkloads: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, bench := range []string{"crc32", "sha"} {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/predict?bench=%s", ts.URL, bench))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict %s: status %d", bench, resp.StatusCode)
+		}
+	}
+	st := srv.Pool().Stats()
+	if st.Resident != 1 || st.Evictions != 1 {
+		t.Fatalf("pool stats %+v, want 1 resident and 1 eviction", st)
+	}
+	if srv.Pool().Resident("crc32") {
+		t.Fatal("LRU workload crc32 still resident")
+	}
+}
+
+// TestWorkloadsEndpoint pins the listing plus residency flags.
+func TestWorkloadsEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/predict?bench=crc32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	var got struct {
+		Workloads []WorkloadInfo `json:"workloads"`
+	}
+	getJSON(t, ts.URL+"/v1/workloads", &got)
+	if len(got.Workloads) != len(workloads.All()) {
+		t.Fatalf("listed %d workloads, want %d", len(got.Workloads), len(workloads.All()))
+	}
+	found := false
+	for _, w := range got.Workloads {
+		if w.Name == "crc32" {
+			found = true
+			if !w.Resident {
+				t.Error("crc32 not marked resident after a predict")
+			}
+		} else if w.Resident {
+			t.Errorf("%s marked resident without being requested", w.Name)
+		}
+	}
+	if !found {
+		t.Fatal("crc32 missing from workload list")
+	}
+}
+
+// TestHealthz pins the liveness endpoint.
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	var got map[string]string
+	resp := getJSON(t, ts.URL+"/healthz", &got)
+	if resp.StatusCode != http.StatusOK || got["status"] != "ok" {
+		t.Fatalf("healthz = %d %v", resp.StatusCode, got)
+	}
+}
+
+// TestRequestValidation pins the shared Table 2 validator and the
+// error statuses of the API surface: the same inputs that must not
+// panic the CLIs must come back as clean 4xx JSON errors here.
+func TestRequestValidation(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	cases := []struct {
+		url  string
+		code int
+	}{
+		{"/v1/predict", http.StatusBadRequest},                      // missing bench
+		{"/v1/predict?bench=nosuch", http.StatusNotFound},           // unknown workload
+		{"/v1/predict?bench=crc32&width=0", http.StatusBadRequest},  // below Table 2
+		{"/v1/predict?bench=crc32&width=7", http.StatusBadRequest},  // above Table 2
+		{"/v1/predict?bench=crc32&l2kb=100", http.StatusBadRequest}, // non-power-of-two L2
+		{"/v1/predict?bench=crc32&l2ways=5", http.StatusBadRequest}, // bad associativity
+		{"/v1/predict?bench=crc32&stages=6", http.StatusBadRequest}, // bad depth
+		{"/v1/predict?bench=crc32&pred=alwaystaken", http.StatusBadRequest},
+		{"/v1/predict?bench=crc32&width=abc", http.StatusBadRequest},        // non-integer
+		{"/v1/predict?bench=crc32&validate=yes", http.StatusBadRequest},     // non-boolean
+		{"/v1/predict?bench=crc32&predictor=hybrid", http.StatusBadRequest}, // misspelled param
+		{"/v1/explore?bench=crc32&l2_kb=256", http.StatusBadRequest},        // misspelled filter
+		{"/v1/explore?bench=crc32&l2kb=100", http.StatusBadRequest},         // bad filter
+		{"/v1/explore", http.StatusBadRequest},                              // missing bench
+	}
+	for _, c := range cases {
+		resp, err := http.Get(ts.URL + c.url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body map[string]string
+		_ = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if resp.StatusCode != c.code {
+			t.Errorf("%s: status %d, want %d", c.url, resp.StatusCode, c.code)
+		}
+		if body["error"] == "" {
+			t.Errorf("%s: no JSON error message", c.url)
+		}
+	}
+
+	// A negative top is clamped (the dse-explore CLI used to panic on
+	// this): the full filtered space comes back, no error.
+	var got ExploreResponse
+	resp := getJSON(t, ts.URL+"/v1/explore?bench=crc32&width=1&l2kb=128&l2ways=8&pred=gshare&top=-3", &got)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("negative top: status %d", resp.StatusCode)
+	}
+	if got.Count != 3 || len(got.Points) != 3 { // 3 depth/frequency settings remain
+		t.Fatalf("negative top: %d points (len %d), want 3", got.Count, len(got.Points))
+	}
+}

@@ -197,6 +197,19 @@ func (p *BitPlane) Get(i int64) bool {
 	return p.chunks[i>>ChunkShift][j>>6]&(1<<uint(j&63)) != 0
 }
 
+// SizeBytes returns the plane's memory footprint (full chunk
+// capacity).
+func (p *BitPlane) SizeBytes() int64 {
+	if p == nil {
+		return 0
+	}
+	var sz int64
+	for _, ws := range p.chunks {
+		sz += int64(cap(ws)) * 8
+	}
+	return sz
+}
+
 // Count returns the number of set bits.
 func (p *BitPlane) Count() int64 {
 	if p == nil {

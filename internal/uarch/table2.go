@@ -1,0 +1,103 @@
+package uarch
+
+import "fmt"
+
+// The paper's Table 2 design-space domain. These lists are the single
+// source of truth shared by the design-space enumeration (dse.Space),
+// the CLI flag validation of cmd/inorder-model and the request
+// decoding of the prediction service (internal/service): a value a CLI
+// or HTTP client may supply is valid exactly when Table2Config accepts
+// it.
+
+// Table2Widths returns the superscalar widths of the Table 2 space.
+func Table2Widths() []int { return []int{1, 2, 3, 4} }
+
+// Table2Stages returns the pipeline depths of the Table 2 space,
+// derived from the depth/frequency pairings.
+func Table2Stages() []int {
+	var out []int
+	for _, df := range DepthFreqPoints() {
+		out = append(out, df.Stages)
+	}
+	return out
+}
+
+// Table2L2SizesKB returns the L2 sizes (in KB) of the Table 2 space.
+func Table2L2SizesKB() []int { return []int{128, 256, 512, 1024} }
+
+// Table2L2Ways returns the L2 associativities of the Table 2 space.
+func Table2L2Ways() []int { return []int{8, 16} }
+
+// Table2Predictors returns the branch predictors of the Table 2 space.
+func Table2Predictors() []PredictorKind {
+	return []PredictorKind{PredGShare1KB, PredHybrid3_5KB}
+}
+
+// PredictorByName resolves the CLI/service spelling of a Table 2
+// predictor ("gshare" or "hybrid").
+func PredictorByName(name string) (PredictorKind, error) {
+	switch name {
+	case "gshare":
+		return PredGShare1KB, nil
+	case "hybrid":
+		return PredHybrid3_5KB, nil
+	}
+	return 0, fmt.Errorf("unknown predictor %q (use gshare or hybrid)", name)
+}
+
+// PredictorName is the inverse of PredictorByName for the Table 2
+// predictors; other kinds fall back to their String form.
+func PredictorName(k PredictorKind) string {
+	switch k {
+	case PredGShare1KB:
+		return "gshare"
+	case PredHybrid3_5KB:
+		return "hybrid"
+	}
+	return k.String()
+}
+
+// Table2Config builds a design point from base, rejecting any
+// parameter outside the paper's Table 2 domain with a descriptive
+// error. It is the shared validator behind cmd/inorder-model's flags
+// and the service's request decoding.
+func Table2Config(base Config, width, stages, l2kb, l2ways int, pred string) (Config, error) {
+	cfg := base
+	found := false
+	for _, df := range DepthFreqPoints() {
+		if df.Stages == stages {
+			cfg = cfg.WithDepth(df)
+			found = true
+		}
+	}
+	if !found {
+		return Config{}, fmt.Errorf("unsupported stage count %d (use 5, 7 or 9)", stages)
+	}
+	if !containsInt(Table2Widths(), width) {
+		return Config{}, fmt.Errorf("unsupported width %d (use 1, 2, 3 or 4)", width)
+	}
+	if !containsInt(Table2L2SizesKB(), l2kb) {
+		return Config{}, fmt.Errorf("unsupported L2 size %d KB (use 128, 256, 512 or 1024)", l2kb)
+	}
+	if !containsInt(Table2L2Ways(), l2ways) {
+		return Config{}, fmt.Errorf("unsupported L2 associativity %d ways (use 8 or 16)", l2ways)
+	}
+	pk, err := PredictorByName(pred)
+	if err != nil {
+		return Config{}, err
+	}
+	cfg = cfg.WithWidth(width).WithL2(l2kb, l2ways).WithPredictor(pk)
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

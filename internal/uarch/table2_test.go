@@ -1,0 +1,74 @@
+package uarch
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTable2ConfigAcceptsWholeDomain pins that every point of the
+// Table 2 domain builds and validates.
+func TestTable2ConfigAcceptsWholeDomain(t *testing.T) {
+	for _, df := range DepthFreqPoints() {
+		for _, w := range Table2Widths() {
+			for _, kb := range Table2L2SizesKB() {
+				for _, ways := range Table2L2Ways() {
+					for _, pred := range []string{"gshare", "hybrid"} {
+						cfg, err := Table2Config(Default(), w, df.Stages, kb, ways, pred)
+						if err != nil {
+							t.Fatalf("W%d D%d L2 %dKB/%dw %s rejected: %v", w, df.Stages, kb, ways, pred, err)
+						}
+						if cfg.Width != w || cfg.PipelineStages() != df.Stages ||
+							cfg.Hier.L2.SizeBytes != int64(kb)*KB || cfg.Hier.L2.Ways != ways {
+							t.Fatalf("built config %v does not match request", cfg)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTable2ConfigRejectsOutOfDomain is the regression test for the
+// unvalidated CLI flags: width 0 and 7, a non-power-of-two L2 size,
+// associativity 5 and unknown predictors must all be rejected with a
+// descriptive error, not passed through to produce nonsense or
+// downstream panics.
+func TestTable2ConfigRejectsOutOfDomain(t *testing.T) {
+	base := Default()
+	cases := []struct {
+		name                        string
+		width, stages, l2kb, l2ways int
+		pred                        string
+		wantSub                     string
+	}{
+		{"width zero", 0, 9, 512, 8, "gshare", "width 0"},
+		{"width seven", 7, 9, 512, 8, "gshare", "width 7"},
+		{"bad stages", 4, 6, 512, 8, "gshare", "stage count 6"},
+		{"l2 100KB", 4, 9, 100, 8, "gshare", "L2 size 100"},
+		{"l2 5 ways", 4, 9, 512, 5, "gshare", "associativity 5"},
+		{"bad predictor", 4, 9, 512, 8, "alwaystaken", "alwaystaken"},
+	}
+	for _, c := range cases {
+		_, err := Table2Config(base, c.width, c.stages, c.l2kb, c.l2ways, c.pred)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q lacks %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+// TestPredictorNameRoundTrip pins the service's predictor spelling.
+func TestPredictorNameRoundTrip(t *testing.T) {
+	for _, name := range []string{"gshare", "hybrid"} {
+		pk, err := PredictorByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := PredictorName(pk); got != name {
+			t.Errorf("PredictorName(%v) = %q, want %q", pk, got, name)
+		}
+	}
+}

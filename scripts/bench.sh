@@ -52,8 +52,14 @@ if os.path.exists(prev_path):
     prev = json.load(open(prev_path))["benchmarks"]
     for name, b in benches.items():
         old = prev.get(name)
-        if old and b["wall_seconds"] > 0:
+        if old is None:
+            continue
+        # A figure whose wall time rounds to 0 has no meaningful ratio;
+        # emit null instead of dividing by zero.
+        if b["wall_seconds"] > 0 and old.get("wall_seconds", 0) > 0:
             b["speedup_vs_prev"] = round(old["wall_seconds"] / b["wall_seconds"], 3)
+        else:
+            b["speedup_vs_prev"] = None
     doc["baseline"] = prev_path
     print(f"speedups vs {prev_path}:", file=sys.stderr)
     for name in sorted(benches):
