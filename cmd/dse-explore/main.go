@@ -12,6 +12,7 @@
 //	dse-explore -bench gsm_c,lame -validate -workers 4
 //	dse-explore -bench sha -validate -top 10
 //	dse-explore -bench dijkstra -validate -cpuprofile cpu.pprof
+//	dse-explore -bench gsm_c -validate -artifact-dir ~/.cache/repro-artifacts
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/dse"
 	"repro/internal/harness"
 	"repro/internal/par"
@@ -43,6 +45,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		artDir   = flag.String("artifact-dir", "", "persistent artifact store directory: profiling and annotation results are reused across runs, bit-identically (empty = disabled)")
 	)
 	flag.Parse()
 	par.SetDefault(*workers)
@@ -51,6 +54,12 @@ func main() {
 		log.Fatal(err)
 	}
 	defer stopProf()
+	var store *artifact.Store
+	if *artDir != "" {
+		if store, err = artifact.Open(*artDir); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	space := dse.Space(uarch.Default())
 	pm := power.NewModel()
@@ -65,11 +74,15 @@ func main() {
 		}
 		fmt.Printf("==== %s: %d design points ====\n", name, len(space))
 		t0 := time.Now()
-		pw, err := harness.ProfileProgram(spec.Build())
+		pw, fromDisk, err := harness.ProfileProgramCached(store, spec.Name, 0, spec.Build)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("profiled %d instructions in %v\n", pw.Trace.Len(), time.Since(t0).Round(time.Millisecond))
+		verb := "profiled"
+		if fromDisk {
+			verb = "rehydrated"
+		}
+		fmt.Printf("%s %d instructions in %v\n", verb, pw.Trace.Len(), time.Since(t0).Round(time.Millisecond))
 
 		t1 := time.Now()
 		var pts []dse.Point

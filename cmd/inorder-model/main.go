@@ -11,6 +11,7 @@
 //	inorder-model -bench sha,dijkstra,gsm_c -validate -workers 4
 //	inorder-model -bench sha -dyninsts 5000000
 //	inorder-model -bench sha -validate -cpuprofile cpu.pprof
+//	inorder-model -bench sha -artifact-dir ~/.cache/repro-artifacts
 //	inorder-model -list
 package main
 
@@ -23,6 +24,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/par"
@@ -47,9 +49,17 @@ func main() {
 		list     = flag.Bool("list", false, "list benchmarks and exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		artDir   = flag.String("artifact-dir", "", "persistent artifact store directory: profiling results are reused across runs, bit-identically (empty = disabled)")
 	)
 	flag.Parse()
 	par.SetDefault(*workers)
+	var store *artifact.Store
+	if *artDir != "" {
+		var err error
+		if store, err = artifact.Open(*artDir); err != nil {
+			log.Fatal(err)
+		}
+	}
 	stopProf, err := proftool.Start(*cpuProf, *memProf)
 	if err != nil {
 		log.Fatal(err)
@@ -78,7 +88,7 @@ func main() {
 	if len(specs) == 1 {
 		// Single benchmark: stream directly so "profiling ..." shows
 		// progress before the (potentially long) run completes.
-		if err := report(os.Stdout, specs[0], cfg, *validate, *dyninsts); err != nil {
+		if err := report(os.Stdout, specs[0], cfg, *validate, *dyninsts, store); err != nil {
 			log.Fatal(err)
 		}
 		_ = os.Stdout.Sync()
@@ -86,7 +96,7 @@ func main() {
 	}
 	reports := make([]strings.Builder, len(specs))
 	err = par.ForEach(*workers, len(specs), func(i int) error {
-		if err := report(&reports[i], specs[i], cfg, *validate, *dyninsts); err != nil {
+		if err := report(&reports[i], specs[i], cfg, *validate, *dyninsts, store); err != nil {
 			return fmt.Errorf("%s: %w", specs[i].Name, err)
 		}
 		return nil
@@ -145,11 +155,14 @@ func printWorkloadsByDomain(w io.Writer) {
 	}
 }
 
-func report(w io.Writer, spec workloads.Spec, cfg uarch.Config, validate bool, dyninsts int64) error {
+func report(w io.Writer, spec workloads.Spec, cfg uarch.Config, validate bool, dyninsts int64, store *artifact.Store) error {
 	fmt.Fprintf(w, "profiling %s ...\n", spec.Name)
-	pw, err := harness.ProfileProgramScaled(spec.Build(), dyninsts)
+	pw, fromDisk, err := harness.ProfileProgramCached(store, spec.Name, dyninsts, spec.Build)
 	if err != nil {
 		return err
+	}
+	if fromDisk {
+		fmt.Fprintf(w, "rehydrated from artifact store (key %.12s...)\n", pw.ArtifactKey())
 	}
 	fmt.Fprintf(w, "%s\n", pw.Prof)
 

@@ -12,13 +12,20 @@
 //	GET /v1/predict?bench=sha&width=2&stages=5&l2kb=256&l2ways=8&pred=hybrid[&validate=true]
 //	GET /v1/explore?bench=gsm_c[&validate=true][&width=4][&l2kb=512][&pred=gshare][&top=10]
 //	GET /v1/workloads
+//	GET /v1/artifacts
 //	GET /healthz
 //	GET /metrics
+//
+// With -artifact-dir, profiled workloads and annotation planes persist
+// in a content-addressed store across restarts: the server warm-starts
+// from it on boot and serves stored workloads with zero profiling,
+// bit-identical to profiling fresh.
 //
 // Usage:
 //
 //	modeld -addr :8080
 //	modeld -addr :8080 -max-workloads 8 -max-plane-bytes 268435456 -workers 8 -explore-workers 4
+//	modeld -addr :8080 -artifact-dir /var/lib/modeld/artifacts
 package main
 
 import (
@@ -46,17 +53,34 @@ func main() {
 		workers       = flag.Int("workers", 0, "total worker tokens shared by all requests (0 = GOMAXPROCS)")
 		exploreWork   = flag.Int("explore-workers", 0, "max worker tokens one /v1/explore request may hold (0 = half the pot)")
 		dyninsts      = flag.Int64("dyninsts", 0, "minimum dynamic instructions per profiled workload (0 = one run)")
+		artifactDir   = flag.String("artifact-dir", "", "persistent artifact store directory: profiled workloads and annotation planes are written through to it and rehydrated bit-identically on admission and on boot (empty = disabled)")
 	)
 	flag.Parse()
 	par.SetDefault(*workers)
 
-	srv := service.New(service.Config{
+	srv, err := service.New(service.Config{
 		MaxWorkloads:   *maxWorkloads,
 		MaxPlaneBytes:  *maxPlaneBytes,
 		Workers:        *workers,
 		ExploreWorkers: *exploreWork,
 		MinDynInsts:    *dyninsts,
+		ArtifactDir:    *artifactDir,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *artifactDir != "" {
+		// Warm start in the background: stored workloads rehydrate with
+		// zero profiling while the listener is already serving.
+		go func() {
+			n, err := srv.WarmStart()
+			if err != nil {
+				log.Printf("warm start: rehydrated %d workload(s) from %s before failing: %v", n, *artifactDir, err)
+				return
+			}
+			log.Printf("warm start: rehydrated %d workload(s) from %s", n, *artifactDir)
+		}()
+	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

@@ -514,79 +514,133 @@ func (pw *Profiled) EnsureAnnotated(cfgs []uarch.Config, workers int) error {
 
 	var firstErr error
 	if len(mineH)+len(mineP) > 0 {
-		fronts, byFront := groupByFront(mineH)
+		// Disk tier: rehydrate claimed components from the artifact
+		// store first. A stored plane is bit-identical to a computed
+		// one (content-addressed, checksum-verified), so it skips the
+		// annotation traversal — and the annotation counters, which is
+		// what lets tests pin "a warm process annotates nothing".
+		// Anything not on disk (or unusable) is computed below.
+		memRes := make(map[cache.HierarchyConfig]*MemPlane, len(mineH))
+		memErrs := make(map[cache.HierarchyConfig]error)
+		brResM := make(map[uarch.PredictorKind]*trace.BitPlane, len(mineP))
+		brErrs := make(map[uarch.PredictorKind]error)
+		computeH, computeP := mineH, mineP
+		if pw.store != nil {
+			computeH = nil
+			for _, h := range mineH {
+				if classes, stats, err := pw.store.LoadMemPlane(pw.storeKey, h); err == nil {
+					memRes[h] = &MemPlane{Classes: classes, Stats: stats}
+				} else {
+					computeH = append(computeH, h)
+				}
+			}
+			computeP = nil
+			for _, pk := range mineP {
+				if bp, err := pw.store.LoadBranchPlane(pw.storeKey, uarch.PredictorName(pk)); err == nil {
+					brResM[pk] = bp
+				} else {
+					computeP = append(computeP, pk)
+				}
+			}
+		}
+
+		fronts, byFront := groupByFront(computeH)
 		nf := len(fronts)
 		frontRes := make([]map[cache.HierarchyConfig]*MemPlane, nf)
 		frontErr := make([]error, nf)
-		brRes := make([]*trace.BitPlane, len(mineP))
-		brErr := make([]error, len(mineP))
+		brRes := make([]*trace.BitPlane, len(computeP))
+		brErr := make([]error, len(computeP))
 		// One pool for cache fronts and predictors together: the
 		// traversals are independent, so none serializes behind the
 		// others. Per-task errors (including converted panics) are
 		// recorded, not returned, so one bad hierarchy cannot fail
 		// unrelated components.
-		_ = par.ForEach(workers, nf+len(mineP), func(i int) error {
+		_ = par.ForEach(workers, nf+len(computeP), func(i int) error {
 			if i < nf {
 				frontRes[i], frontErr[i] = safeAnnotateFront(pw.Trace, fronts[i], byFront[fronts[i]])
 			} else {
-				brRes[i-nf], brErr[i-nf] = safeAnnotateBranch(pw.Trace, mineP[i-nf])
+				brRes[i-nf], brErr[i-nf] = safeAnnotateBranch(pw.Trace, computeP[i-nf])
 			}
 			return nil
 		})
+		for i, f := range fronts {
+			for _, h := range byFront[f] {
+				if frontErr[i] != nil {
+					memErrs[h] = frontErr[i]
+					continue
+				}
+				mp := frontRes[i][h]
+				// Write-through before canonicalization swaps pointers
+				// (contents are equal either way). Save errors are
+				// ignored: the disk tier can only skip work.
+				if pw.store != nil {
+					_ = pw.store.SaveMemPlane(pw.storeKey, h, mp.Classes, mp.Stats)
+				}
+				memRes[h] = mp
+			}
+		}
+		for i, pk := range computeP {
+			if brErr[i] != nil {
+				brErrs[pk] = brErr[i]
+				continue
+			}
+			if pw.store != nil {
+				_ = pw.store.SaveBranchPlane(pw.storeKey, uarch.PredictorName(pk), brRes[i])
+			}
+			brResM[pk] = brRes[i]
+		}
 
 		// Canonicalize outside the lock (plane comparison walks whole
 		// chunks), then publish, charge and budget-evict under it.
-		for i, f := range fronts {
-			if frontErr[i] != nil {
-				continue
-			}
-			for _, h := range byFront[f] {
-				mp := frontRes[i][h]
+		// Disk-loaded planes canonicalize too: two hierarchies whose
+		// stored planes coincide still collapse to one object, so the
+		// byte accounting and timing memoization behave exactly as for
+		// computed planes.
+		for _, h := range mineH {
+			if mp := memRes[h]; mp != nil {
 				mp.Classes = canonicalize(memSeeds, mp.Classes)
 				memSeeds = append(memSeeds, mp.Classes)
 			}
 		}
-		for i := range mineP {
-			if brErr[i] != nil {
-				continue
+		for _, pk := range mineP {
+			if bp := brResM[pk]; bp != nil {
+				q := canonicalize(brSeeds, bp)
+				brResM[pk] = q
+				brSeeds = append(brSeeds, q)
 			}
-			brRes[i] = canonicalize(brSeeds, brRes[i])
-			brSeeds = append(brSeeds, brRes[i])
 		}
 
 		st.mu.Lock()
-		for i, f := range fronts {
-			for _, h := range byFront[f] {
-				e := claimed[h]
-				if frontErr[i] != nil {
-					// Failed entries are removed so a later call can
-					// retry; waiters of this batch observe the error.
-					e.err = frontErr[i]
-					if firstErr == nil {
-						firstErr = frontErr[i]
-					}
-					if st.mem[h] == e {
-						delete(st.mem, h)
-					}
-				} else {
-					e.val = frontRes[i][h]
-					st.chargeMemLocked(e)
-				}
-				close(e.done)
-			}
-		}
-		for i, pk := range mineP {
-			e := claimedP[pk]
-			if brErr[i] != nil {
-				e.err = brErr[i]
+		for _, h := range mineH {
+			e := claimed[h]
+			if err := memErrs[h]; err != nil {
+				// Failed entries are removed so a later call can
+				// retry; waiters of this batch observe the error.
+				e.err = err
 				if firstErr == nil {
-					firstErr = brErr[i]
+					firstErr = err
+				}
+				if st.mem[h] == e {
+					delete(st.mem, h)
+				}
+			} else {
+				e.val = memRes[h]
+				st.chargeMemLocked(e)
+			}
+			close(e.done)
+		}
+		for _, pk := range mineP {
+			e := claimedP[pk]
+			if err := brErrs[pk]; err != nil {
+				e.err = err
+				if firstErr == nil {
+					firstErr = err
 				}
 				if st.br[pk] == e {
 					delete(st.br, pk)
 				}
 			} else {
-				e.val = brRes[i]
+				e.val = brResM[pk]
 				st.chargeBrLocked(e)
 			}
 			close(e.done)
@@ -656,7 +710,19 @@ func (pw *Profiled) Annotation(cfg uarch.Config) (pipeline.Annotation, error) {
 	)
 	var memErr, brErr error
 	if !haveB {
-		bp, brErr = safeAnnotateBranch(pw.Trace, cfg.Predictor)
+		// Disk tier first: a stored plane skips the traversal (and
+		// the annotation counter); a computed one is written through.
+		if pw.store != nil {
+			if q, err := pw.store.LoadBranchPlane(pw.storeKey, uarch.PredictorName(cfg.Predictor)); err == nil {
+				bp = q
+			}
+		}
+		if bp == nil {
+			bp, brErr = safeAnnotateBranch(pw.Trace, cfg.Predictor)
+			if brErr == nil && pw.store != nil {
+				_ = pw.store.SaveBranchPlane(pw.storeKey, uarch.PredictorName(cfg.Predictor), bp)
+			}
+		}
 		st.mu.Lock()
 		if brErr != nil {
 			// Failed entries are removed so a later call can retry.
@@ -677,10 +743,22 @@ func (pw *Profiled) Annotation(cfg uarch.Config) (pipeline.Annotation, error) {
 		// Computed and published with its own outcome even when the
 		// branch half failed: one bad component must not poison the
 		// other's waiters.
-		var part map[cache.HierarchyConfig]*MemPlane
-		part, memErr = safeAnnotateFront(pw.Trace, frontOf(cfg.Hier), []cache.HierarchyConfig{cfg.Hier})
+		if pw.store != nil {
+			if classes, stats, err := pw.store.LoadMemPlane(pw.storeKey, cfg.Hier); err == nil {
+				mp = &MemPlane{Classes: classes, Stats: stats}
+			}
+		}
+		if mp == nil {
+			var part map[cache.HierarchyConfig]*MemPlane
+			part, memErr = safeAnnotateFront(pw.Trace, frontOf(cfg.Hier), []cache.HierarchyConfig{cfg.Hier})
+			if memErr == nil {
+				mp = part[cfg.Hier]
+				if pw.store != nil {
+					_ = pw.store.SaveMemPlane(pw.storeKey, cfg.Hier, mp.Classes, mp.Stats)
+				}
+			}
+		}
 		if memErr == nil {
-			mp = part[cfg.Hier]
 			mp.Classes = canonicalize(memSeeds, mp.Classes)
 		}
 		st.mu.Lock()

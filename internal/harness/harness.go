@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/artifact"
 	"repro/internal/branch"
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -34,6 +35,13 @@ type Profiled struct {
 	Prof  *profile.Profile
 
 	annot annotStore
+
+	// Persistent plane tier (see AttachArtifacts): when set, the
+	// annotation paths rehydrate per-component planes from the
+	// artifact store before computing and write computed planes
+	// through to it. storeKey is the workload's content key.
+	store    *artifact.Store
+	storeKey string
 }
 
 // ProfileProgram runs p once, recording the trace and the profile in a

@@ -1,8 +1,12 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+
+	"repro/internal/artifact"
+	"repro/internal/program"
 )
 
 // PoolOptions bounds a workload Pool.
@@ -18,6 +22,15 @@ type PoolOptions struct {
 	// per workload (an unbounded workload count has no fixed slice).
 	// ≤ 0 means unbounded.
 	MaxPlaneBytes int64
+	// Store is the persistent artifact tier: admissions check it
+	// before profiling and write freshly profiled workloads through to
+	// it, and admitted workloads rehydrate their annotation planes
+	// from it. nil disables the tier.
+	Store *artifact.Store
+	// MinDynInsts is the dynamic-instruction floor the pool's profile
+	// funcs honor; it is part of the artifact identity, so differently
+	// scaled traces never collide on disk. ≤ 0 means one run.
+	MinDynInsts int64
 }
 
 // PoolStats is a snapshot of a Pool's counters. The json tags shape
@@ -26,7 +39,10 @@ type PoolStats struct {
 	Hits       int64 `json:"hits"`        // Get calls answered by a resident (or in-flight) entry
 	Misses     int64 `json:"misses"`      // Get calls that had to admit a new entry
 	Evictions  int64 `json:"evictions"`   // workloads evicted by the MaxWorkloads bound
-	Profiles   int64 `json:"profiles"`    // profiling runs executed (== Misses: each admission runs one)
+	Profiles   int64 `json:"profiles"`    // profiling runs actually executed (disk hits skip one)
+	DiskHits   int64 `json:"disk_hits"`   // admissions served by the artifact store
+	DiskWrites int64 `json:"disk_writes"` // freshly profiled workloads written through to disk
+	DiskErrors int64 `json:"disk_errors"` // unusable artifacts or failed writes (profiling proceeded)
 	Resident   int   `json:"resident"`    // completed workloads currently resident
 	InFlight   int   `json:"in_flight"`   // admissions currently profiling
 	PlaneBytes int64 `json:"plane_bytes"` // annotation/timing bytes resident across all workloads
@@ -39,15 +55,27 @@ type PoolStats struct {
 // MaxWorkloads, and each resident workload's annotation store is given
 // an equal slice of MaxPlaneBytes so total plane/timing memory stays
 // under the budget no matter how many design points are served.
+//
+// With a Store configured the pool is write-through over a persistent
+// disk tier: an admission first tries to rehydrate the workload from
+// its content-addressed artifact (bit-identical to profiling fresh),
+// and a fresh profiling run is saved back so every later process
+// starts warm. An unusable artifact — truncated, corrupted, wrong
+// format version — is counted and profiling proceeds as if it were
+// absent: the store can only skip work, never serve bad data.
 type Pool struct {
 	mu      sync.Mutex
 	opt     PoolOptions
 	entries map[string]*poolEntry
 	clock   int64
 
-	hits      int64
-	misses    int64
-	evictions int64
+	hits       int64
+	misses     int64
+	evictions  int64
+	profiles   int64
+	diskHits   int64
+	diskWrites int64
+	diskErrors int64
 }
 
 type poolEntry struct {
@@ -78,11 +106,73 @@ func (p *Pool) perWorkloadBudget() int64 {
 	return b
 }
 
+// admitResult is one admission's outcome plus the counter deltas it
+// earned.
+type admitResult struct {
+	pw       *Profiled
+	err      error
+	fromDisk bool // served by the artifact store
+	wrote    bool // freshly profiled workload written through
+	badDisk  bool // unusable artifact or failed write (profiling proceeded)
+}
+
 // Get returns the profiled workload named name, admitting it via
 // profile if absent. Concurrent calls for an absent name share one
-// profiling run. A failed profiling run is not cached; the next call
+// profiling run. A failed admission is not cached; the next call
 // retries.
+//
+// Get never touches the disk tier: the artifact identity includes the
+// program's content fingerprint, which only the builder-aware GetBuilt
+// can compute. Production callers use GetBuilt; Get remains for
+// callers (and tests) that hand the pool an opaque profile func.
 func (p *Pool) Get(name string, profile func() (*Profiled, error)) (*Profiled, error) {
+	return p.admit(name, func() (r admitResult) {
+		r.pw, r.err = profile()
+		return r
+	})
+}
+
+// GetBuilt returns the profiled workload named name, admitting it
+// through the write-through disk tier: build derives the program (and
+// with it the content-addressed artifact identity), a valid stored
+// artifact rehydrates the workload bit-identically without executing
+// it, and a miss runs profile on the built program and installs the
+// result. Singleflight and LRU behavior match Get; build and profile
+// run at most once per admission.
+func (p *Pool) GetBuilt(name string, build func() *program.Program, profile func(prog *program.Program) (*Profiled, error)) (*Profiled, error) {
+	return p.admit(name, func() (r admitResult) {
+		prog := build()
+		id := artifact.WorkloadID{Name: name, MinDynInsts: p.opt.MinDynInsts, Code: prog.Fingerprint()}
+		if p.opt.Store != nil {
+			tr, prof, lerr := p.opt.Store.LoadWorkload(id)
+			switch {
+			case lerr == nil:
+				r.pw, r.fromDisk = &Profiled{Name: name, Trace: tr, Prof: prof}, true
+			case !errors.Is(lerr, artifact.ErrNotFound):
+				// Unusable artifact: never served, profiling proceeds.
+				r.badDisk = true
+			}
+		}
+		if r.pw == nil {
+			r.pw, r.err = profile(prog)
+			if r.err == nil && r.pw != nil && p.opt.Store != nil {
+				if _, serr := p.opt.Store.SaveWorkload(id, r.pw.Trace, r.pw.Prof); serr == nil {
+					r.wrote = true
+				} else {
+					r.badDisk = true
+				}
+			}
+		}
+		if r.err == nil && r.pw != nil && p.opt.Store != nil {
+			r.pw.AttachArtifacts(p.opt.Store, p.opt.Store.WorkloadKey(id))
+		}
+		return r
+	})
+}
+
+// admit claims the singleflight entry for name and resolves it with
+// the outcome of admission.
+func (p *Pool) admit(name string, admission func() admitResult) (*Profiled, error) {
 	p.mu.Lock()
 	e, ok := p.entries[name]
 	if ok {
@@ -104,29 +194,40 @@ func (p *Pool) Get(name string, profile func() (*Profiled, error)) (*Profiled, e
 	// overflow is bounded by the number of concurrent cold requests.
 	p.mu.Unlock()
 
-	// The profile func runs arbitrary workload-build code; convert a
+	// The admission runs arbitrary workload-build code; convert a
 	// panic into a failed admission so the entry is always resolved —
 	// an unclosed done channel would wedge every future Get for this
-	// name (net/http recovers handler panics, so a long-running service
-	// would otherwise keep the dead entry forever).
-	pw, err := func() (pw *Profiled, err error) {
+	// name (net/http recovers handler panics, so a long-running
+	// service would otherwise keep the dead entry forever).
+	r := func() (r admitResult) {
 		defer func() {
-			if r := recover(); r != nil {
-				pw, err = nil, fmt.Errorf("harness: profiling %q panicked: %v", name, r)
+			if rec := recover(); rec != nil {
+				r = admitResult{err: fmt.Errorf("harness: profiling %q panicked: %v", name, rec)}
 			}
 		}()
-		return profile()
+		return admission()
 	}()
-	if err == nil && pw == nil {
-		err = fmt.Errorf("harness: pool profile func for %q returned no workload", name)
+	if r.err == nil && r.pw == nil {
+		r.err = fmt.Errorf("harness: pool profile func for %q returned no workload", name)
 	}
-	if err == nil {
-		pw.SetAnnotBudget(p.perWorkloadBudget())
+	if r.err == nil {
+		r.pw.SetAnnotBudget(p.perWorkloadBudget())
 	}
 
 	p.mu.Lock()
-	e.pw, e.err = pw, err
-	if err != nil && p.entries[name] == e {
+	if r.fromDisk {
+		p.diskHits++
+	} else {
+		p.profiles++
+	}
+	if r.wrote {
+		p.diskWrites++
+	}
+	if r.badDisk {
+		p.diskErrors++
+	}
+	e.pw, e.err = r.pw, r.err
+	if r.err != nil && p.entries[name] == e {
 		delete(p.entries, name)
 	}
 	close(e.done)
@@ -137,7 +238,7 @@ func (p *Pool) Get(name string, profile func() (*Profiled, error)) (*Profiled, e
 	// cold miss.
 	p.evictLocked(e)
 	p.mu.Unlock()
-	return pw, err
+	return r.pw, r.err
 }
 
 // evictLocked enforces MaxWorkloads, evicting completed entries
@@ -177,13 +278,22 @@ func (p *Pool) evictLocked(keep *poolEntry) {
 }
 
 // ProfileCount returns the number of profiling runs the pool has
-// executed: every miss admits exactly one run (singleflight), so this
-// is the miss counter — concurrent requests for one benchmark count a
-// single profile.
+// actually executed. Without a disk tier every miss runs exactly one
+// (singleflight); with one, admissions served from the artifact store
+// do not count — a warm process answers every request with zero
+// profiling, and tests pin that.
 func (p *Pool) ProfileCount() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.misses
+	return p.profiles
+}
+
+// DiskHitCount returns the number of admissions served by the
+// artifact store.
+func (p *Pool) DiskHitCount() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.diskHits
 }
 
 // Resident reports whether a completed workload is currently resident.
@@ -209,10 +319,13 @@ func (p *Pool) Resident(name string) bool {
 func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
 	s := PoolStats{
-		Hits:      p.hits,
-		Misses:    p.misses,
-		Evictions: p.evictions,
-		Profiles:  p.misses,
+		Hits:       p.hits,
+		Misses:     p.misses,
+		Evictions:  p.evictions,
+		Profiles:   p.profiles,
+		DiskHits:   p.diskHits,
+		DiskWrites: p.diskWrites,
+		DiskErrors: p.diskErrors,
 	}
 	var resident []*Profiled
 	for _, e := range p.entries {

@@ -1,0 +1,57 @@
+package program
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"io"
+)
+
+// Fingerprint returns a SHA-256 content hash of the program: every
+// block (labels, loop metadata, instructions) and every initialized
+// data word, in deterministic order. Two programs with the same
+// fingerprint execute identically, so the artifact store folds it into
+// the workload identity — editing a workload kernel (or anything that
+// changes its built IR) moves the artifact to a new key instead of
+// silently rehydrating a stale trace.
+//
+// The hash is length-prefixed field by field, so adjacent variable-
+// length values (labels, block boundaries) can never alias.
+func (p *Program) Fingerprint() string {
+	h := sha256.New()
+	ws := func(s string) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(len(s)))
+		h.Write(b[:])
+		_, _ = io.WriteString(h, s)
+	}
+	wi := func(vs ...int64) {
+		var b [8]byte
+		for _, v := range vs {
+			binary.LittleEndian.PutUint64(b[:], uint64(v))
+			h.Write(b[:])
+		}
+	}
+	ws(p.Name)
+	wi(p.MemWords, int64(len(p.Blocks)))
+	for _, blk := range p.Blocks {
+		ws(blk.Label)
+		ws(blk.LoopLatch)
+		head := int64(0)
+		if blk.LoopHead {
+			head = 1
+		}
+		wi(head, blk.TripMultiple, int64(len(blk.Insts)))
+		for i := range blk.Insts {
+			in := &blk.Insts[i]
+			ws(in.Label)
+			wi(int64(in.Op), int64(in.Dst), int64(in.Src1), int64(in.Src2), in.Imm)
+		}
+	}
+	addrs := p.DataAddrs()
+	wi(int64(len(addrs)))
+	for _, a := range addrs {
+		wi(a, p.Data[a])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

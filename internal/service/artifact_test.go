@@ -1,0 +1,129 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/artifact"
+)
+
+// fetchBody returns a response body as a string, failing on non-200.
+func fetchBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+// TestWarmStartServesFromDiskBitIdentically is the service half of the
+// acceptance criteria: a second server booting on a populated artifact
+// dir performs zero profiling (counter-pinned) and its /v1/predict
+// responses are byte-identical to the fresh server's.
+func TestWarmStartServesFromDiskBitIdentically(t *testing.T) {
+	dir := t.TempDir()
+	const query = "/v1/predict?bench=crc32&width=2&stages=7&l2kb=256&pred=hybrid&validate=true"
+
+	cold := mustNew(t, Config{ArtifactDir: dir})
+	tsCold := httptest.NewServer(cold.Handler())
+	defer tsCold.Close()
+	coldBody := fetchBody(t, tsCold.URL+query)
+	if n := cold.Pool().ProfileCount(); n != 1 {
+		t.Fatalf("cold server ran %d profiles, want 1", n)
+	}
+
+	warm := mustNew(t, Config{ArtifactDir: dir})
+	loaded, err := warm.WarmStart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 1 {
+		t.Fatalf("WarmStart rehydrated %d workloads, want 1", loaded)
+	}
+	tsWarm := httptest.NewServer(warm.Handler())
+	defer tsWarm.Close()
+	warmBody := fetchBody(t, tsWarm.URL+query)
+	if n := warm.Pool().ProfileCount(); n != 0 {
+		t.Fatalf("warm server ran %d profiles, want 0", n)
+	}
+	if warm.Pool().DiskHitCount() != 1 {
+		t.Fatalf("warm server disk hits = %d, want 1", warm.Pool().DiskHitCount())
+	}
+	if coldBody != warmBody {
+		t.Fatalf("from-disk prediction differs from fresh:\n cold: %s\n warm: %s", coldBody, warmBody)
+	}
+
+	// Warm-start respects the MaxWorkloads bound.
+	bounded := mustNew(t, Config{ArtifactDir: dir, MaxWorkloads: 1})
+	if n, err := bounded.WarmStart(); err != nil || n > 1 {
+		t.Fatalf("bounded WarmStart = %d, %v; want <= 1 rehydrations and no error", n, err)
+	}
+}
+
+// TestArtifactsEndpoint pins the listing + residency surface.
+func TestArtifactsEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	srv := mustNew(t, Config{ArtifactDir: dir})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var empty ArtifactsResponse
+	getJSON(t, ts.URL+"/v1/artifacts", &empty)
+	if !empty.Enabled || empty.Dir != dir || len(empty.Entries) != 0 {
+		t.Fatalf("empty store listing = %+v", empty)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/predict?bench=crc32&validate=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var got ArtifactsResponse
+	getJSON(t, ts.URL+"/v1/artifacts", &got)
+	if got.FormatVersion != artifact.FormatVersion {
+		t.Fatalf("format version %d, want %d", got.FormatVersion, artifact.FormatVersion)
+	}
+	// A validated predict writes the workload plus one mem plane and
+	// one branch plane through to disk.
+	kinds := map[string]int{}
+	for _, e := range got.Entries {
+		kinds[e.Kind]++
+	}
+	if kinds["workload"] != 1 || kinds["mem-plane"] != 1 || kinds["branch-plane"] != 1 {
+		t.Fatalf("store kinds after validated predict = %v, want one of each", kinds)
+	}
+	found := false
+	for _, w := range got.Workloads {
+		if w.Name == "crc32" {
+			found = true
+			if !w.Stored || !w.Resident || w.Key == "" {
+				t.Fatalf("crc32 residency row = %+v, want stored+resident", w)
+			}
+		} else if w.Stored || w.Resident {
+			t.Fatalf("%s claims artifacts without being requested: %+v", w.Name, w)
+		}
+	}
+	if !found {
+		t.Fatal("crc32 missing from artifact residency rows")
+	}
+
+	// Without a store the endpoint reports disabled rather than erroring.
+	plain := newTestServer(t, Config{})
+	var off ArtifactsResponse
+	getJSON(t, plain.URL+"/v1/artifacts", &off)
+	if off.Enabled || off.Dir != "" {
+		t.Fatalf("store-less listing = %+v, want disabled", off)
+	}
+}

@@ -16,13 +16,16 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/dse"
 	"repro/internal/harness"
 	"repro/internal/par"
 	"repro/internal/power"
+	"repro/internal/program"
 	"repro/internal/uarch"
 	"repro/internal/workloads"
 )
@@ -47,12 +50,19 @@ type Config struct {
 	// MinDynInsts is the dynamic-instruction floor used when profiling
 	// (the -dyninsts scaling knob); ≤ 0 means one run.
 	MinDynInsts int64
+	// ArtifactDir enables the persistent artifact tier: profiled
+	// workloads and annotation planes are written through to this
+	// content-addressed store and rehydrated — bit-identically — on
+	// admission, so a restarted service answers with zero profiling
+	// for every workload already on disk. "" disables the tier.
+	ArtifactDir string
 }
 
 // Server serves the modeld API. Create with New and mount Handler.
 type Server struct {
 	cfg    Config
 	pool   *harness.Pool
+	store  *artifact.Store
 	budget *par.Budget
 	pm     power.Model
 	mux    *http.ServeMux
@@ -60,19 +70,52 @@ type Server struct {
 	reqPredict   atomic.Int64
 	reqExplore   atomic.Int64
 	reqWorkloads atomic.Int64
+	reqArtifacts atomic.Int64
 	reqHealth    atomic.Int64
 	reqMetrics   atomic.Int64
 	errCount     atomic.Int64
 	inFlight     atomic.Int64
+
+	// ids memoizes each benchmark's artifact identity (building the
+	// program once per process to fingerprint its IR), so listing and
+	// warm-start paths don't rebuild every workload per request.
+	ids sync.Map // string -> artifact.WorkloadID
 }
 
-// New builds a Server with the given bounds.
-func New(cfg Config) *Server {
+// workloadID returns the artifact identity of a benchmark under this
+// server's configuration, building (and memoizing) the program's
+// content fingerprint on first use.
+func (s *Server) workloadID(spec workloads.Spec) artifact.WorkloadID {
+	if v, ok := s.ids.Load(spec.Name); ok {
+		return v.(artifact.WorkloadID)
+	}
+	id := artifact.WorkloadID{
+		Name:        spec.Name,
+		MinDynInsts: s.cfg.MinDynInsts,
+		Code:        spec.Build().Fingerprint(),
+	}
+	s.ids.Store(spec.Name, id)
+	return id
+}
+
+// New builds a Server with the given bounds, opening the artifact
+// store when one is configured.
+func New(cfg Config) (*Server, error) {
+	var store *artifact.Store
+	if cfg.ArtifactDir != "" {
+		var err error
+		if store, err = artifact.Open(cfg.ArtifactDir); err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
-		cfg: cfg,
+		cfg:   cfg,
+		store: store,
 		pool: harness.NewPool(harness.PoolOptions{
 			MaxWorkloads:  cfg.MaxWorkloads,
 			MaxPlaneBytes: cfg.MaxPlaneBytes,
+			Store:         store,
+			MinDynInsts:   cfg.MinDynInsts,
 		}),
 		budget: par.NewBudget(cfg.Workers),
 		pm:     power.NewModel(),
@@ -87,9 +130,39 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/predict", s.count(&s.reqPredict, s.handlePredict))
 	s.mux.HandleFunc("GET /v1/explore", s.count(&s.reqExplore, s.handleExplore))
 	s.mux.HandleFunc("GET /v1/workloads", s.count(&s.reqWorkloads, s.handleWorkloads))
+	s.mux.HandleFunc("GET /v1/artifacts", s.count(&s.reqArtifacts, s.handleArtifacts))
 	s.mux.HandleFunc("GET /healthz", s.count(&s.reqHealth, s.handleHealth))
 	s.mux.HandleFunc("GET /metrics", s.count(&s.reqMetrics, s.handleMetrics))
-	return s
+	return s, nil
+}
+
+// WarmStart admits every workload already stored in the artifact
+// store (up to the MaxWorkloads bound), so the first client request
+// for any of them is answered from memory with zero profiling. It
+// returns the number of workloads rehydrated; without a store it is a
+// no-op. modeld calls this in the background on boot.
+func (s *Server) WarmStart() (int, error) {
+	if s.store == nil {
+		return 0, nil
+	}
+	loaded := 0
+	var firstErr error
+	for _, spec := range workloads.All() {
+		if s.cfg.MaxWorkloads > 0 && loaded >= s.cfg.MaxWorkloads {
+			break
+		}
+		if !s.store.HasWorkload(s.workloadID(spec)) {
+			continue
+		}
+		if _, _, err := s.profiled(spec.Name); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("warm-starting %s: %w", spec.Name, err)
+			}
+			continue
+		}
+		loaded++
+	}
+	return loaded, firstErr
 }
 
 // Handler returns the service's HTTP handler.
@@ -133,7 +206,7 @@ func (s *Server) profiled(name string) (*harness.Profiled, int, error) {
 	if err != nil {
 		return nil, http.StatusNotFound, err
 	}
-	pw, err := s.pool.Get(name, func() (*harness.Profiled, error) {
+	pw, err := s.pool.GetBuilt(name, spec.Build, func(prog *program.Program) (*harness.Profiled, error) {
 		// Detached from the admitting request's context: the run is
 		// shared by every singleflight waiter, so one client's
 		// disconnect must not fail the others' healthy requests.
@@ -142,7 +215,7 @@ func (s *Server) profiled(name string) (*harness.Profiled, int, error) {
 			return nil, err
 		}
 		defer s.budget.Release(n)
-		return harness.ProfileProgramScaled(spec.Build(), s.cfg.MinDynInsts)
+		return harness.ProfileProgramScaled(prog, s.cfg.MinDynInsts)
 	})
 	if err != nil {
 		return nil, http.StatusInternalServerError, err
@@ -559,9 +632,83 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, map[string]any{"workloads": out})
 }
 
+// StoreHealth reports the artifact store's state in /healthz.
+type StoreHealth struct {
+	Dir           string `json:"dir"`
+	FormatVersion int    `json:"format_version"`
+	Writable      bool   `json:"writable"`
+	Error         string `json:"error,omitempty"`
+}
+
+// HealthResponse answers /healthz. Status stays "ok" as long as the
+// service can answer requests; a read-only artifact store degrades
+// (cold profiling keeps working, writes are skipped) and is reported
+// without failing liveness.
+type HealthResponse struct {
+	Status        string       `json:"status"`
+	ArtifactStore *StoreHealth `json:"artifact_store,omitempty"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	_, _ = w.Write([]byte("{\"status\":\"ok\"}\n"))
+	resp := HealthResponse{Status: "ok"}
+	if s.store != nil {
+		sh := &StoreHealth{Dir: s.store.Dir(), FormatVersion: artifact.FormatVersion}
+		if err := s.store.Probe(); err != nil {
+			sh.Error = err.Error()
+		} else {
+			sh.Writable = true
+		}
+		resp.ArtifactStore = sh
+	}
+	s.writeJSON(w, resp)
+}
+
+// ArtifactWorkload is one /v1/artifacts residency row: whether a known
+// benchmark has a stored artifact under this server's identity
+// parameters, and whether it is currently resident in memory.
+type ArtifactWorkload struct {
+	Name     string `json:"name"`
+	Key      string `json:"key"`
+	Stored   bool   `json:"stored"`
+	Resident bool   `json:"resident"`
+}
+
+// ArtifactsResponse answers /v1/artifacts.
+type ArtifactsResponse struct {
+	Enabled       bool               `json:"enabled"`
+	Dir           string             `json:"dir,omitempty"`
+	FormatVersion int                `json:"format_version"`
+	Entries       []artifact.Info    `json:"entries"`
+	Workloads     []ArtifactWorkload `json:"workloads"`
+}
+
+// handleArtifacts lists the store's contents plus a per-benchmark
+// residency view (stored on disk / resident in memory).
+func (s *Server) handleArtifacts(w http.ResponseWriter, r *http.Request) {
+	resp := ArtifactsResponse{FormatVersion: artifact.FormatVersion}
+	if s.store == nil {
+		s.writeJSON(w, resp)
+		return
+	}
+	resp.Enabled = true
+	resp.Dir = s.store.Dir()
+	entries, err := s.store.List()
+	if err != nil {
+		s.writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp.Entries = entries
+	for _, spec := range workloads.All() {
+		id := s.workloadID(spec)
+		resp.Workloads = append(resp.Workloads, ArtifactWorkload{
+			Name:     spec.Name,
+			Key:      s.store.WorkloadKey(id),
+			Stored:   s.store.HasWorkload(id),
+			Resident: s.pool.Resident(spec.Name),
+		})
+	}
+	sort.Slice(resp.Workloads, func(i, j int) bool { return resp.Workloads[i].Name < resp.Workloads[j].Name })
+	s.writeJSON(w, resp)
 }
 
 // Metrics is the expvar-style counter snapshot served at /metrics.
@@ -586,6 +733,7 @@ func (s *Server) MetricsSnapshot() Metrics {
 			"predict":   s.reqPredict.Load(),
 			"explore":   s.reqExplore.Load(),
 			"workloads": s.reqWorkloads.Load(),
+			"artifacts": s.reqArtifacts.Load(),
 			"healthz":   s.reqHealth.Load(),
 			"metrics":   s.reqMetrics.Load(),
 		},

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/artifact"
 	"repro/internal/dse"
 	"repro/internal/harness"
 	"repro/internal/power"
@@ -15,9 +16,18 @@ import (
 	"repro/internal/workloads"
 )
 
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
 func newTestServer(t *testing.T, cfg Config) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(New(cfg).Handler())
+	ts := httptest.NewServer(mustNew(t, cfg).Handler())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -147,7 +157,7 @@ func TestExploreMatchesDSE(t *testing.T) {
 // TestPredictSingleflight pins the admission contract end to end:
 // concurrent requests for one benchmark profile it exactly once.
 func TestPredictSingleflight(t *testing.T) {
-	srv := New(Config{MaxWorkloads: 4})
+	srv := mustNew(t, Config{MaxWorkloads: 4})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -181,7 +191,7 @@ func TestPredictSingleflight(t *testing.T) {
 
 // TestWorkloadEviction pins the LRU bound through the HTTP surface.
 func TestWorkloadEviction(t *testing.T) {
-	srv := New(Config{MaxWorkloads: 1})
+	srv := mustNew(t, Config{MaxWorkloads: 1})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	for _, bench := range []string{"crc32", "sha"} {
@@ -234,13 +244,27 @@ func TestWorkloadsEndpoint(t *testing.T) {
 	}
 }
 
-// TestHealthz pins the liveness endpoint.
+// TestHealthz pins the liveness endpoint, with and without a store.
 func TestHealthz(t *testing.T) {
 	ts := newTestServer(t, Config{})
-	var got map[string]string
+	var got HealthResponse
 	resp := getJSON(t, ts.URL+"/healthz", &got)
-	if resp.StatusCode != http.StatusOK || got["status"] != "ok" {
-		t.Fatalf("healthz = %d %v", resp.StatusCode, got)
+	if resp.StatusCode != http.StatusOK || got.Status != "ok" {
+		t.Fatalf("healthz = %d %+v", resp.StatusCode, got)
+	}
+	if got.ArtifactStore != nil {
+		t.Fatalf("healthz reports a store without one configured: %+v", got.ArtifactStore)
+	}
+
+	dir := t.TempDir()
+	ts2 := newTestServer(t, Config{ArtifactDir: dir})
+	var got2 HealthResponse
+	if resp := getJSON(t, ts2.URL+"/healthz", &got2); resp.StatusCode != http.StatusOK || got2.Status != "ok" {
+		t.Fatalf("healthz with store = %d %+v", resp.StatusCode, got2)
+	}
+	sh := got2.ArtifactStore
+	if sh == nil || sh.Dir != dir || !sh.Writable || sh.FormatVersion != artifact.FormatVersion {
+		t.Fatalf("healthz store report = %+v, want writable dir %s at format version %d", sh, dir, artifact.FormatVersion)
 	}
 }
 

@@ -1,0 +1,356 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// Binary codecs for the columnar stores: Trace, BytePlane and BitPlane
+// serialize to a compact, deterministic little-endian stream and
+// deserialize to bit-identical in-memory objects. The encoding is a
+// pure function of the logical contents — no timestamps, no pointers,
+// no map iteration — so two processes that profile the same workload
+// write byte-identical streams, which is what lets the artifact store
+// (internal/artifact) content-address them and lets CI assert
+// determinism with a plain SHA-256 comparison.
+//
+// Layout (all integers little-endian):
+//
+//	Trace:      u64 n, then per chunk: the column arrays in fixed
+//	            order (PC i32, Op u8, Class u8, Flags u8, Dst u8,
+//	            Src1 u8, Src2 u8, EffAddr i64, Target i32), each
+//	            truncated to the chunk's live length, followed by a
+//	            u32 CRC-32C of the chunk's encoded bytes.
+//	BytePlane:  u64 n, then per chunk: the live bytes + u32 CRC-32C.
+//	BitPlane:   u64 n, then per chunk: the live u64 words + u32 CRC-32C.
+//
+// Derivable framing (chunk count, per-chunk lengths, Base) is not
+// stored: it all follows from n and the fixed chunk geometry, so a
+// reader can also predict the exact encoded size up front and reject a
+// stream whose length disagrees before allocating anything.
+
+// ErrCorrupt is wrapped by every decode failure caused by damaged
+// input (bad checksum, impossible length, truncation). Callers that
+// fall back to recomputation match it with errors.Is.
+var ErrCorrupt = errors.New("trace: corrupt encoded stream")
+
+// crcTable is the Castagnoli table shared by all three codecs.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// maxDecodeLen bounds the entry count a decoder accepts. Real traces
+// are millions of instructions; 2^40 is far beyond anything this
+// repository can record while still leaving all derived arithmetic
+// (chunk counts, per-chunk sizes) comfortably inside int64.
+const maxDecodeLen = int64(1) << 40
+
+// decodeLen reads and bounds a stream's u64 entry-count header. The
+// decoders additionally never allocate ahead of the stream: chunk
+// storage is appended as each chunk's bytes actually arrive and pass
+// their checksum, so a forged header cannot cause an allocation larger
+// than (a constant factor of) the bytes really present.
+func decodeLen(r io.Reader, what string) (int64, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, fmt.Errorf("%w: reading %s header: %v", ErrCorrupt, what, err)
+	}
+	n := int64(binary.LittleEndian.Uint64(hdr[:]))
+	if n < 0 || n > maxDecodeLen {
+		return 0, fmt.Errorf("%w: implausible %s length %d", ErrCorrupt, what, uint64(n))
+	}
+	return n, nil
+}
+
+// traceInstBytes is the encoded size of one instruction across all
+// columns.
+const traceInstBytes = 4 + 1 + 1 + 1 + 1 + 1 + 1 + 8 + 4
+
+// chunkCount returns the number of chunks holding n entries.
+func chunkCount(n int64) int64 {
+	return (n + ChunkLen - 1) >> ChunkShift
+}
+
+// chunkLive returns the live length of chunk c of an n-entry store.
+func chunkLive(n int64, c int64) int {
+	live := n - c<<ChunkShift
+	if live > ChunkLen {
+		live = ChunkLen
+	}
+	return int(live)
+}
+
+// EncodedSize returns the exact number of bytes WriteTo will produce.
+func (t *Trace) EncodedSize() int64 {
+	n := t.Len()
+	return 8 + n*traceInstBytes + 4*chunkCount(n)
+}
+
+// WriteTo serializes the trace; it implements io.WriterTo. The stream
+// is deterministic: equal traces encode to equal bytes.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(t.Len()))
+	if _, err := cw.Write(hdr[:]); err != nil {
+		return cw.n, err
+	}
+	buf := make([]byte, ChunkLen*traceInstBytes+4)
+	for ci := range t.Chunks() {
+		ck := &t.chunks[ci]
+		enc := encodeTraceChunk(buf[:0], ck)
+		crc := crc32.Checksum(enc, crcTable)
+		enc = binary.LittleEndian.AppendUint32(enc, crc)
+		if _, err := cw.Write(enc); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+// encodeTraceChunk appends chunk ck's live columns to dst in the fixed
+// column order.
+func encodeTraceChunk(dst []byte, ck *Columns) []byte {
+	n := ck.N
+	for _, v := range ck.PC[:n] {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(v))
+	}
+	for _, v := range ck.Op[:n] {
+		dst = append(dst, uint8(v))
+	}
+	for _, v := range ck.Class[:n] {
+		dst = append(dst, uint8(v))
+	}
+	dst = append(dst, ck.Flags[:n]...)
+	for _, v := range ck.Dst[:n] {
+		dst = append(dst, uint8(v))
+	}
+	for _, v := range ck.Src1[:n] {
+		dst = append(dst, uint8(v))
+	}
+	for _, v := range ck.Src2[:n] {
+		dst = append(dst, uint8(v))
+	}
+	for _, v := range ck.EffAddr[:n] {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+	}
+	for _, v := range ck.Target[:n] {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(v))
+	}
+	return dst
+}
+
+// ReadTraceFrom decodes a stream produced by Trace.WriteTo. The
+// returned trace is bit-identical to the one that was written —
+// chunks are allocated at full capacity exactly like the Builder's, so
+// even SizeBytes matches. Damaged input yields an error wrapping
+// ErrCorrupt; the reader never allocates more than the stream's
+// declared (and length-validated) size.
+func ReadTraceFrom(r io.Reader) (*Trace, error) {
+	n, err := decodeLen(r, "trace")
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{n: n}
+	nc := chunkCount(n)
+	buf := make([]byte, ChunkLen*traceInstBytes+4)
+	for c := int64(0); c < nc; c++ {
+		live := chunkLive(n, c)
+		enc := buf[:live*traceInstBytes+4]
+		if _, err := io.ReadFull(r, enc); err != nil {
+			return nil, fmt.Errorf("%w: trace chunk %d truncated: %v", ErrCorrupt, c, err)
+		}
+		body, tail := enc[:len(enc)-4], enc[len(enc)-4:]
+		if got, want := crc32.Checksum(body, crcTable), binary.LittleEndian.Uint32(tail); got != want {
+			return nil, fmt.Errorf("%w: trace chunk %d checksum mismatch (got %08x, want %08x)", ErrCorrupt, c, got, want)
+		}
+		ck := newChunk(c << ChunkShift)
+		ck.N = live
+		decodeTraceChunk(body, &ck)
+		t.chunks = append(t.chunks, ck)
+	}
+	return t, nil
+}
+
+// decodeTraceChunk fills ck's columns from body (already
+// checksum-verified, length exactly ck.N*traceInstBytes).
+func decodeTraceChunk(body []byte, ck *Columns) {
+	n := ck.N
+	off := 0
+	for i := 0; i < n; i++ {
+		ck.PC[i] = int32(binary.LittleEndian.Uint32(body[off+4*i:]))
+	}
+	off += 4 * n
+	for i := 0; i < n; i++ {
+		ck.Op[i] = isa.Op(body[off+i])
+	}
+	off += n
+	for i := 0; i < n; i++ {
+		ck.Class[i] = isa.Class(body[off+i])
+	}
+	off += n
+	copy(ck.Flags[:n], body[off:])
+	off += n
+	for i := 0; i < n; i++ {
+		ck.Dst[i] = isa.Reg(body[off+i])
+	}
+	off += n
+	for i := 0; i < n; i++ {
+		ck.Src1[i] = isa.Reg(body[off+i])
+	}
+	off += n
+	for i := 0; i < n; i++ {
+		ck.Src2[i] = isa.Reg(body[off+i])
+	}
+	off += n
+	for i := 0; i < n; i++ {
+		ck.EffAddr[i] = int64(binary.LittleEndian.Uint64(body[off+8*i:]))
+	}
+	off += 8 * n
+	for i := 0; i < n; i++ {
+		ck.Target[i] = int32(binary.LittleEndian.Uint32(body[off+4*i:]))
+	}
+}
+
+// EncodedSize returns the exact number of bytes WriteTo will produce.
+func (p *BytePlane) EncodedSize() int64 {
+	n := p.Len()
+	return 8 + n + 4*chunkCount(n)
+}
+
+// WriteTo serializes the plane; it implements io.WriterTo.
+func (p *BytePlane) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(p.Len()))
+	if _, err := cw.Write(hdr[:]); err != nil {
+		return cw.n, err
+	}
+	var tail [4]byte
+	for c, bytes := range p.Chunks() {
+		live := chunkLive(p.n, int64(c))
+		body := bytes[:live]
+		if _, err := cw.Write(body); err != nil {
+			return cw.n, err
+		}
+		binary.LittleEndian.PutUint32(tail[:], crc32.Checksum(body, crcTable))
+		if _, err := cw.Write(tail[:]); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+// ReadBytePlaneFrom decodes a stream produced by BytePlane.WriteTo.
+func ReadBytePlaneFrom(r io.Reader) (*BytePlane, error) {
+	n, err := decodeLen(r, "byte-plane")
+	if err != nil {
+		return nil, err
+	}
+	p := &BytePlane{n: n}
+	nc := chunkCount(n)
+	var tail [4]byte
+	for c := int64(0); c < nc; c++ {
+		live := chunkLive(n, c)
+		bytes := make([]uint8, ChunkLen)
+		body := bytes[:live]
+		if _, err := io.ReadFull(r, body); err != nil {
+			return nil, fmt.Errorf("%w: byte-plane chunk %d truncated: %v", ErrCorrupt, c, err)
+		}
+		if _, err := io.ReadFull(r, tail[:]); err != nil {
+			return nil, fmt.Errorf("%w: byte-plane chunk %d truncated: %v", ErrCorrupt, c, err)
+		}
+		if got, want := crc32.Checksum(body, crcTable), binary.LittleEndian.Uint32(tail[:]); got != want {
+			return nil, fmt.Errorf("%w: byte-plane chunk %d checksum mismatch (got %08x, want %08x)", ErrCorrupt, c, got, want)
+		}
+		p.chunks = append(p.chunks, bytes)
+	}
+	return p, nil
+}
+
+// EncodedSize returns the exact number of bytes WriteTo will produce.
+func (p *BitPlane) EncodedSize() int64 {
+	n := p.Len()
+	return 8 + 8*bitChunkWordsLive(n) + 4*chunkCount(n)
+}
+
+// bitChunkWordsLive returns the total live word count across all
+// chunks of an n-bit plane.
+func bitChunkWordsLive(n int64) int64 {
+	nc := chunkCount(n)
+	if nc == 0 {
+		return 0
+	}
+	full := (nc - 1) * bitChunkWords
+	lastBits := n - (nc-1)<<ChunkShift
+	return full + (lastBits+63)/64
+}
+
+// WriteTo serializes the plane; it implements io.WriterTo.
+func (p *BitPlane) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(p.Len()))
+	if _, err := cw.Write(hdr[:]); err != nil {
+		return cw.n, err
+	}
+	buf := make([]byte, 8*bitChunkWords+4)
+	for c, words := range p.Chunks() {
+		liveBits := int64(chunkLive(p.n, int64(c)))
+		liveWords := (liveBits + 63) / 64
+		enc := buf[:0]
+		for _, wd := range words[:liveWords] {
+			enc = binary.LittleEndian.AppendUint64(enc, wd)
+		}
+		crc := crc32.Checksum(enc, crcTable)
+		enc = binary.LittleEndian.AppendUint32(enc, crc)
+		if _, err := cw.Write(enc); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+// ReadBitPlaneFrom decodes a stream produced by BitPlane.WriteTo.
+func ReadBitPlaneFrom(r io.Reader) (*BitPlane, error) {
+	n, err := decodeLen(r, "bit-plane")
+	if err != nil {
+		return nil, err
+	}
+	p := &BitPlane{n: n}
+	nc := chunkCount(n)
+	buf := make([]byte, 8*bitChunkWords+4)
+	for c := int64(0); c < nc; c++ {
+		liveBits := int64(chunkLive(n, c))
+		liveWords := int((liveBits + 63) / 64)
+		enc := buf[:8*liveWords+4]
+		if _, err := io.ReadFull(r, enc); err != nil {
+			return nil, fmt.Errorf("%w: bit-plane chunk %d truncated: %v", ErrCorrupt, c, err)
+		}
+		body, tail := enc[:len(enc)-4], enc[len(enc)-4:]
+		if got, want := crc32.Checksum(body, crcTable), binary.LittleEndian.Uint32(tail); got != want {
+			return nil, fmt.Errorf("%w: bit-plane chunk %d checksum mismatch (got %08x, want %08x)", ErrCorrupt, c, got, want)
+		}
+		words := make([]uint64, bitChunkWords)
+		for i := 0; i < liveWords; i++ {
+			words[i] = binary.LittleEndian.Uint64(body[8*i:])
+		}
+		p.chunks = append(p.chunks, words)
+	}
+	return p, nil
+}
+
+// countWriter tracks bytes written for the io.WriterTo contract.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(b []byte) (int, error) {
+	n, err := c.w.Write(b)
+	c.n += int64(n)
+	return n, err
+}

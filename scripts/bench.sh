@@ -20,7 +20,22 @@ prev="BENCH_$((n - 1)).json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
+# With REPRO_ARTIFACT_DIR set, the experiment harness profiles through
+# the persistent artifact store; record whether this run started warm
+# (store already populated — workload profiling skipped) or cold, so
+# successive BENCH wall times are compared like for like. Figure
+# metrics are bit-identical either way.
+art_dir="${REPRO_ARTIFACT_DIR:-}"
+art_warm=0
+if [[ -n "$art_dir" ]] && compgen -G "$art_dir/*.rpaf" > /dev/null; then
+  art_warm=1
+fi
+export BENCH_ART_DIR="$art_dir" BENCH_ART_WARM="$art_warm"
+
 echo "running benchmark suite (one iteration per figure)..." >&2
+if [[ -n "$art_dir" ]]; then
+  echo "artifact store: $art_dir ($([[ "$art_warm" == 1 ]] && echo warm || echo cold))" >&2
+fi
 # -benchmem so B/op and allocs/op land in the JSON metrics: trace-memory
 # regressions (bytes/recorded-instruction, replay allocations) are part
 # of the baseline.
@@ -47,6 +62,16 @@ for line in open(raw_path):
     }
 
 doc = {"suite": "go test -bench=. -benchtime=1x -benchmem", "benchmarks": benches}
+
+# Warm/cold provenance: a warm run (artifact store already populated)
+# skips workload profiling, so its wall times are not comparable with a
+# cold run's. Figure metrics are bit-identical either way.
+art_dir = os.environ.get("BENCH_ART_DIR", "")
+doc["artifact_store"] = {
+    "enabled": bool(art_dir),
+    "dir": art_dir or None,
+    "warm": os.environ.get("BENCH_ART_WARM") == "1",
+}
 
 if os.path.exists(prev_path):
     prev = json.load(open(prev_path))["benchmarks"]

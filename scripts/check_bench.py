@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""check_bench.py — gate figure metrics against a committed baseline.
+
+Usage:
+    scripts/check_bench.py CANDIDATE.json [BASELINE.json]
+
+Compares the *figure metrics* of a fresh bench run (CANDIDATE) against
+a committed BENCH_N.json baseline (the highest-numbered one when not
+given explicitly). Figure metrics are the model/simulator numbers the
+benchmarks report — avg-err-%, speedups, CPI ratios — which are pure
+functions of the committed code and must be bit-identical run to run;
+wall time and allocation counters (ns/op, B/op, allocs/op, MB/s) vary
+with the machine and are ignored. Exits non-zero on any drift, on a
+figure metric that disappeared, or on a benchmark missing from the
+candidate, printing a per-metric report either way.
+"""
+
+import glob
+import json
+import re
+import sys
+
+# Machine-dependent units: never part of the bit-identity gate.
+SKIP_UNITS = {"B/op", "allocs/op", "MB/s"}
+
+
+def figure_metrics(doc):
+    out = {}
+    for name, bench in doc.get("benchmarks", {}).items():
+        for unit, val in bench.get("metrics", {}).items():
+            if unit not in SKIP_UNITS:
+                out[(name, unit)] = val
+    return out
+
+
+def latest_baseline(exclude):
+    best = None
+    for path in glob.glob("BENCH_*.json"):
+        m = re.fullmatch(r"BENCH_(\d+)\.json", path)
+        if m and path != exclude:
+            n = int(m.group(1))
+            if best is None or n > best[0]:
+                best = (n, path)
+    if best is None:
+        sys.exit("check_bench: no committed BENCH_<N>.json baseline found")
+    return best[1]
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        sys.exit(__doc__)
+    cand_path = sys.argv[1]
+    base_path = sys.argv[2] if len(sys.argv) == 3 else latest_baseline(cand_path)
+
+    cand = figure_metrics(json.load(open(cand_path)))
+    base = figure_metrics(json.load(open(base_path)))
+    print(f"comparing {len(cand)} candidate figure metrics ({cand_path}) "
+          f"against {len(base)} baseline metrics ({base_path})")
+
+    failures = []
+    for key in sorted(base):
+        name, unit = key
+        if key not in cand:
+            failures.append(f"  MISSING  {name} [{unit}] (baseline {base[key]})")
+            continue
+        if cand[key] != base[key]:
+            failures.append(f"  DRIFT    {name} [{unit}]: {base[key]} -> {cand[key]}")
+        else:
+            print(f"  ok       {name} [{unit}] = {base[key]}")
+    for key in sorted(set(cand) - set(base)):
+        print(f"  new      {key[0]} [{key[1]}] = {cand[key]} (not in baseline)")
+
+    if failures:
+        print(f"\n{len(failures)} figure metric(s) drifted from {base_path}:")
+        print("\n".join(failures))
+        sys.exit(1)
+    print("\nall figure metrics bit-identical to the baseline")
+
+
+if __name__ == "__main__":
+    main()
