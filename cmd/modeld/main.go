@@ -26,6 +26,7 @@
 //	modeld -addr :8080
 //	modeld -addr :8080 -max-workloads 8 -max-plane-bytes 268435456 -workers 8 -explore-workers 4
 //	modeld -addr :8080 -artifact-dir /var/lib/modeld/artifacts
+//	modeld -addr :8080 -predict-timeout 5s -explore-timeout 2m -queue-depth 64 -queue-wait 5s -shutdown-timeout 15s
 package main
 
 import (
@@ -54,6 +55,12 @@ func main() {
 		exploreWork   = flag.Int("explore-workers", 0, "max worker tokens one /v1/explore request may hold (0 = half the pot)")
 		dyninsts      = flag.Int64("dyninsts", 0, "minimum dynamic instructions per profiled workload (0 = one run)")
 		artifactDir   = flag.String("artifact-dir", "", "persistent artifact store directory: profiled workloads and annotation planes are written through to it and rehydrated bit-identically on admission and on boot (empty = disabled)")
+
+		predictTimeout  = flag.Duration("predict-timeout", 0, "per-request deadline for /v1/predict; exceeding it answers 503 deadline_exceeded (0 = none)")
+		exploreTimeout  = flag.Duration("explore-timeout", 0, "per-request deadline for /v1/explore; exceeding it answers 503 deadline_exceeded (0 = none)")
+		queueDepth      = flag.Int("queue-depth", 0, "max requests parked waiting for a worker token; arrivals beyond it are shed with 429 (0 = unbounded)")
+		queueWait       = flag.Duration("queue-wait", 0, "max time a request may wait for a worker token before being shed with 429 (0 = unbounded)")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests after SIGINT/SIGTERM; queued-but-unstarted requests are rejected with 503 immediately")
 	)
 	flag.Parse()
 	par.SetDefault(*workers)
@@ -65,6 +72,10 @@ func main() {
 		ExploreWorkers: *exploreWork,
 		MinDynInsts:    *dyninsts,
 		ArtifactDir:    *artifactDir,
+		PredictTimeout: *predictTimeout,
+		ExploreTimeout: *exploreTimeout,
+		QueueDepth:     *queueDepth,
+		QueueWait:      *queueWait,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -93,7 +104,12 @@ func main() {
 	go func() {
 		defer close(drained)
 		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Drain the admission queue first: parked requests get a 503
+		// shutting_down immediately instead of burning the grace
+		// period waiting for tokens they will never use; requests
+		// already computing finish under the shutdown timeout.
+		srv.BeginShutdown()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 		defer cancel()
 		_ = hs.Shutdown(shutdownCtx)
 	}()

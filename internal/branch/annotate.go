@@ -1,6 +1,10 @@
 package branch
 
-import "repro/internal/trace"
+import (
+	"context"
+
+	"repro/internal/trace"
+)
 
 // AnnotateMispredicts simulates p over the trace's conditional-branch
 // stream — exactly the stream the detailed pipeline's fetch stage
@@ -9,11 +13,26 @@ import "repro/internal/trace"
 // The plane is a pure function of (trace, predictor kind), so one
 // annotation serves every design point sharing the predictor.
 func AnnotateMispredicts(tr *trace.Trace, p Predictor) *trace.BitPlane {
+	pl, _ := AnnotateMispredictsCtx(context.Background(), tr, p)
+	return pl
+}
+
+// AnnotateMispredictsCtx is AnnotateMispredicts under a context:
+// cancellation is observed between trace chunks (the same granularity
+// as trace.ReplayCtx), returning ctx.Err() with a nil plane. A
+// completed annotation is bit-identical to the uncancelled one.
+func AnnotateMispredictsCtx(ctx context.Context, tr *trace.Trace, p Predictor) (*trace.BitPlane, error) {
+	done := ctx.Done()
 	b := trace.NewBitPlaneBuilder()
 	for cur := tr.Cursor(); ; {
+		select {
+		case <-done:
+			return nil, ctx.Err()
+		default:
+		}
 		ck, ok := cur.Next()
 		if !ok {
-			return b.Plane()
+			return b.Plane(), nil
 		}
 		for j := 0; j < ck.N; j++ {
 			fl := ck.Flags[j]

@@ -7,6 +7,7 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -66,7 +67,14 @@ type Point struct {
 // simultaneously (harness.CollectMultiStats); model evaluation itself
 // is closed-form.
 func Explore(pw *harness.Profiled, cfgs []uarch.Config, pm power.Model) ([]Point, error) {
-	memo, err := pw.MultiInputs(cfgs)
+	return ExploreCtx(context.Background(), pw, cfgs, pm)
+}
+
+// ExploreCtx is Explore under a request context: the statistics
+// traversal aborts at a trace chunk boundary once ctx ends, returning
+// ctx.Err() with no points.
+func ExploreCtx(ctx context.Context, pw *harness.Profiled, cfgs []uarch.Config, pm power.Model) ([]Point, error) {
+	memo, err := pw.MultiInputsCtx(ctx, cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -108,7 +116,17 @@ func explore(memo *harness.InputsSet, cfgs []uarch.Config, pm power.Model) ([]Po
 // (itself in parallel); the 192 detailed runs are then timing-only
 // replays over the shared planes, bit-identical to pipeline.Simulate.
 func ExploreValidated(pw *harness.Profiled, cfgs []uarch.Config, pm power.Model, workers int) ([]Point, error) {
-	memo, err := pw.MultiInputs(cfgs)
+	return ExploreValidatedCtx(context.Background(), pw, cfgs, pm, workers)
+}
+
+// ExploreValidatedCtx is ExploreValidated under a request context.
+// Cancellation cuts every stage — the statistics pass, the annotation
+// fan-out, and the per-point detailed replays — at chunk/cycle-batch
+// boundaries: no new design point starts and running replays abort,
+// returning ctx.Err(). Completed points are discarded, never returned
+// partially.
+func ExploreValidatedCtx(ctx context.Context, pw *harness.Profiled, cfgs []uarch.Config, pm power.Model, workers int) ([]Point, error) {
+	memo, err := pw.MultiInputsCtx(ctx, cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -116,12 +134,12 @@ func ExploreValidated(pw *harness.Profiled, cfgs []uarch.Config, pm power.Model,
 	if err != nil {
 		return nil, err
 	}
-	if err := pw.EnsureAnnotated(cfgs, workers); err != nil {
+	if err := pw.EnsureAnnotatedCtx(ctx, cfgs, workers); err != nil {
 		return nil, err
 	}
-	err = par.ForEach(workers, len(pts), func(i int) error {
+	err = par.ForEachCtx(ctx, workers, len(pts), func(i int) error {
 		p := &pts[i]
-		sim, err := pw.SimulateDetailed(p.Cfg)
+		sim, err := pw.SimulateDetailedCtx(ctx, p.Cfg)
 		if err != nil {
 			return err
 		}
@@ -155,9 +173,16 @@ func ExploreValidated(pw *harness.Profiled, cfgs []uarch.Config, pm power.Model,
 // trace replay plus closed-form evaluation; the result is indexed like
 // pws.
 func ExploreSuite(pws []*harness.Profiled, cfgs []uarch.Config, pm power.Model, workers int) ([][]Point, error) {
+	return ExploreSuiteCtx(context.Background(), pws, cfgs, pm, workers)
+}
+
+// ExploreSuiteCtx is ExploreSuite under a request context: no new
+// benchmark's exploration starts after ctx ends and running replays
+// abort at chunk boundaries.
+func ExploreSuiteCtx(ctx context.Context, pws []*harness.Profiled, cfgs []uarch.Config, pm power.Model, workers int) ([][]Point, error) {
 	out := make([][]Point, len(pws))
-	err := par.ForEach(workers, len(pws), func(i int) error {
-		pts, err := Explore(pws[i], cfgs, pm)
+	err := par.ForEachCtx(ctx, workers, len(pws), func(i int) error {
+		pts, err := ExploreCtx(ctx, pws[i], cfgs, pm)
 		if err != nil {
 			return fmt.Errorf("%s: %w", pws[i].Name, err)
 		}

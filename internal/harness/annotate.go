@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -76,7 +77,9 @@ func groupByFront(hiers []cache.HierarchyConfig) ([]hierFront, map[hierFront][]c
 // annotateFront runs one annotation traversal for every hierarchy
 // sharing one L1/TLB front: the shared stack-distance engine resolves
 // each instruction's L2 outcome for all candidate geometries at once.
-func annotateFront(tr *trace.Trace, f hierFront, group []cache.HierarchyConfig) (map[cache.HierarchyConfig]*MemPlane, error) {
+// Cancellation is observed at trace chunk boundaries; an aborted
+// traversal returns ctx.Err() and publishes nothing.
+func annotateFront(ctx context.Context, tr *trace.Trace, f hierFront, group []cache.HierarchyConfig) (map[cache.HierarchyConfig]*MemPlane, error) {
 	base := cache.HierarchyConfig{
 		IL1: f.il1, DL1: f.dl1,
 		ITLBEntries: f.itlbEntries, DTLBEntries: f.dtlbEntries,
@@ -93,7 +96,9 @@ func annotateFront(tr *trace.Trace, f hierFront, group []cache.HierarchyConfig) 
 	if err := eng.RecordPlanes(l2s); err != nil {
 		return nil, err
 	}
-	tr.Replay(eng)
+	if err := tr.ReplayCtx(ctx, eng); err != nil {
+		return nil, err
+	}
 	// Canonicalize: two geometries whose planes came out identical
 	// (common — the trace's L2 misses are often all cold) share one
 	// plane object, so timing-replay memoization can key on plane
@@ -131,37 +136,41 @@ func annotateFront(tr *trace.Trace, f hierFront, group []cache.HierarchyConfig) 
 // done channel unclosed and wedge every future request for the
 // component (net/http recovers handler panics, so a long-running
 // service would otherwise keep the dead claim forever).
-func safeAnnotateFront(tr *trace.Trace, f hierFront, group []cache.HierarchyConfig) (out map[cache.HierarchyConfig]*MemPlane, err error) {
+func safeAnnotateFront(ctx context.Context, tr *trace.Trace, f hierFront, group []cache.HierarchyConfig) (out map[cache.HierarchyConfig]*MemPlane, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			out, err = nil, fmt.Errorf("harness: cache annotation panicked: %v", r)
 		}
 	}()
-	return annotateFront(tr, f, group)
+	return annotateFront(ctx, tr, f, group)
 }
 
 // safeAnnotateBranch annotates one predictor with the same panic
-// protection (see safeAnnotateFront).
-func safeAnnotateBranch(tr *trace.Trace, pk uarch.PredictorKind) (p *trace.BitPlane, err error) {
+// protection (see safeAnnotateFront). The annotation counter is bumped
+// only on completion: a cancelled traversal annotated nothing.
+func safeAnnotateBranch(ctx context.Context, tr *trace.Trace, pk uarch.PredictorKind) (p *trace.BitPlane, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			p, err = nil, fmt.Errorf("harness: branch annotation for %v panicked: %v", pk, r)
 		}
 	}()
-	p = branch.AnnotateMispredicts(tr, pk.New())
+	p, err = branch.AnnotateMispredictsCtx(ctx, tr, pk.New())
+	if err != nil {
+		return nil, err
+	}
 	branchAnnotates.Add(1)
 	return p, nil
 }
 
 // safeSimulateAnnotated runs the timing replay with the same panic
 // protection (see safeAnnotateFront).
-func safeSimulateAnnotated(tr *trace.Trace, cfg uarch.Config, ann pipeline.Annotation) (res pipeline.Result, err error) {
+func safeSimulateAnnotated(ctx context.Context, tr *trace.Trace, cfg uarch.Config, ann pipeline.Annotation) (res pipeline.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = pipeline.Result{}, fmt.Errorf("harness: detailed simulation of %s panicked: %v", cfg, r)
 		}
 	}()
-	return pipeline.SimulateAnnotated(tr, cfg, ann)
+	return pipeline.SimulateAnnotatedCtx(ctx, tr, cfg, ann)
 }
 
 // AnnotateCaches computes memory-event planes for every distinct
@@ -173,7 +182,7 @@ func AnnotateCaches(tr *trace.Trace, hiers []cache.HierarchyConfig, workers int)
 	out := make(map[cache.HierarchyConfig]*MemPlane)
 	var mu sync.Mutex
 	err := par.ForEach(workers, len(fronts), func(i int) error {
-		part, err := annotateFront(tr, fronts[i], byFront[fronts[i]])
+		part, err := annotateFront(context.Background(), tr, fronts[i], byFront[fronts[i]])
 		if err != nil {
 			return err
 		}
@@ -461,6 +470,28 @@ func timingKeyOf(cfg uarch.Config, mem *trace.BytePlane, br *trace.BitPlane) tim
 // configurations are cache hits; a component whose annotation failed
 // is evicted so a later call can retry it.
 func (pw *Profiled) EnsureAnnotated(cfgs []uarch.Config, workers int) error {
+	return pw.EnsureAnnotatedCtx(context.Background(), cfgs, workers)
+}
+
+// EnsureAnnotatedCtx is EnsureAnnotated under a request context. The
+// claimed traversals run under ctx (cancellation lands at trace chunk
+// boundaries), and waits on other requests' claims abandon once ctx
+// ends. A cancellation error observed from some other request's claim
+// while this ctx is still live is not reported — the failed entry was
+// evicted for retry, so this call re-claims and computes it itself;
+// that self-claimed run can only be cancelled by this ctx, which
+// bounds the retries.
+func (pw *Profiled) EnsureAnnotatedCtx(ctx context.Context, cfgs []uarch.Config, workers int) error {
+	for {
+		err := pw.ensureAnnotated(ctx, cfgs, workers)
+		if err != nil && isCancellation(err) && ctx.Err() == nil {
+			continue
+		}
+		return err
+	}
+}
+
+func (pw *Profiled) ensureAnnotated(ctx context.Context, cfgs []uarch.Config, workers int) error {
 	st := &pw.annot
 	st.mu.Lock()
 	if st.mem == nil {
@@ -554,15 +585,28 @@ func (pw *Profiled) EnsureAnnotated(cfgs []uarch.Config, workers int) error {
 		// traversals are independent, so none serializes behind the
 		// others. Per-task errors (including converted panics) are
 		// recorded, not returned, so one bad hierarchy cannot fail
-		// unrelated components.
-		_ = par.ForEach(workers, nf+len(computeP), func(i int) error {
+		// unrelated components. Cancellation both aborts running
+		// traversals (at chunk boundaries) and stops unstarted ones
+		// from being claimed; tasks the cut skipped entirely are marked
+		// with the cancellation error below so their claims resolve.
+		cutErr := par.ForEachCtx(ctx, workers, nf+len(computeP), func(i int) error {
 			if i < nf {
-				frontRes[i], frontErr[i] = safeAnnotateFront(pw.Trace, fronts[i], byFront[fronts[i]])
+				frontRes[i], frontErr[i] = safeAnnotateFront(ctx, pw.Trace, fronts[i], byFront[fronts[i]])
 			} else {
-				brRes[i-nf], brErr[i-nf] = safeAnnotateBranch(pw.Trace, computeP[i-nf])
+				brRes[i-nf], brErr[i-nf] = safeAnnotateBranch(ctx, pw.Trace, computeP[i-nf])
 			}
 			return nil
 		})
+		for i := range frontErr {
+			if frontErr[i] == nil && frontRes[i] == nil {
+				frontErr[i] = cutErr
+			}
+		}
+		for i := range brErr {
+			if brErr[i] == nil && brRes[i] == nil {
+				brErr[i] = cutErr
+			}
+		}
 		for i, f := range fronts {
 			for _, h := range byFront[f] {
 				if frontErr[i] != nil {
@@ -648,14 +692,25 @@ func (pw *Profiled) EnsureAnnotated(cfgs []uarch.Config, workers int) error {
 		st.evictLocked()
 		st.mu.Unlock()
 	}
+	// Waits on other requests' claims abandon when ctx ends — every
+	// claim of this call is already resolved above, so leaving early
+	// wedges nobody.
 	for _, e := range waitH {
-		<-e.done
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 		if e.err != nil && firstErr == nil {
 			firstErr = e.err
 		}
 	}
 	for _, e := range waitP {
-		<-e.done
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 		if e.err != nil && firstErr == nil {
 			firstErr = e.err
 		}
@@ -672,6 +727,25 @@ func (pw *Profiled) EnsureAnnotated(cfgs []uarch.Config, workers int) error {
 // batched EnsureAnnotated — changes to charging, canonicalization or
 // error eviction must be applied to both.
 func (pw *Profiled) Annotation(cfg uarch.Config) (pipeline.Annotation, error) {
+	return pw.AnnotationCtx(context.Background(), cfg)
+}
+
+// AnnotationCtx is Annotation under a request context, with the same
+// claimant/waiter cancellation contract as EnsureAnnotatedCtx: own
+// claims compute under ctx, waits on other requests' claims abandon
+// when ctx ends, and another request's cancellation is retried rather
+// than reported.
+func (pw *Profiled) AnnotationCtx(ctx context.Context, cfg uarch.Config) (pipeline.Annotation, error) {
+	for {
+		ann, err := pw.annotation(ctx, cfg)
+		if err != nil && isCancellation(err) && ctx.Err() == nil {
+			continue
+		}
+		return ann, err
+	}
+}
+
+func (pw *Profiled) annotation(ctx context.Context, cfg uarch.Config) (pipeline.Annotation, error) {
 	st := &pw.annot
 	st.mu.Lock()
 	if st.mem == nil {
@@ -718,7 +792,7 @@ func (pw *Profiled) Annotation(cfg uarch.Config) (pipeline.Annotation, error) {
 			}
 		}
 		if bp == nil {
-			bp, brErr = safeAnnotateBranch(pw.Trace, cfg.Predictor)
+			bp, brErr = safeAnnotateBranch(ctx, pw.Trace, cfg.Predictor)
 			if brErr == nil && pw.store != nil {
 				_ = pw.store.SaveBranchPlane(pw.storeKey, uarch.PredictorName(cfg.Predictor), bp)
 			}
@@ -750,7 +824,7 @@ func (pw *Profiled) Annotation(cfg uarch.Config) (pipeline.Annotation, error) {
 		}
 		if mp == nil {
 			var part map[cache.HierarchyConfig]*MemPlane
-			part, memErr = safeAnnotateFront(pw.Trace, frontOf(cfg.Hier), []cache.HierarchyConfig{cfg.Hier})
+			part, memErr = safeAnnotateFront(ctx, pw.Trace, frontOf(cfg.Hier), []cache.HierarchyConfig{cfg.Hier})
 			if memErr == nil {
 				mp = part[cfg.Hier]
 				if pw.store != nil {
@@ -782,14 +856,22 @@ func (pw *Profiled) Annotation(cfg uarch.Config) (pipeline.Annotation, error) {
 		return pipeline.Annotation{}, brErr
 	}
 	if haveM {
-		<-me.done
+		select {
+		case <-me.done:
+		case <-ctx.Done():
+			return pipeline.Annotation{}, ctx.Err()
+		}
 		if me.err != nil {
 			return pipeline.Annotation{}, me.err
 		}
 		mp = me.val
 	}
 	if haveB {
-		<-be.done
+		select {
+		case <-be.done:
+		case <-ctx.Done():
+			return pipeline.Annotation{}, ctx.Err()
+		}
 		if be.err != nil {
 			return pipeline.Annotation{}, be.err
 		}
@@ -807,7 +889,27 @@ func (pw *Profiled) Annotation(cfg uarch.Config) (pipeline.Annotation, error) {
 // stamped per configuration. The Result is bit-identical to
 // pipeline.Simulate's.
 func (pw *Profiled) SimulateDetailed(cfg uarch.Config) (pipeline.Result, error) {
-	ann, err := pw.Annotation(cfg)
+	return pw.SimulateDetailedCtx(context.Background(), cfg)
+}
+
+// SimulateDetailedCtx is SimulateDetailed under a request context:
+// annotation and the timing replay abort at chunk/cycle-batch
+// boundaries once ctx ends, waits on another request's in-flight
+// replay abandon promptly, and a memo entry that failed with some
+// other request's cancellation is recomputed rather than reported
+// (the same contract as EnsureAnnotatedCtx).
+func (pw *Profiled) SimulateDetailedCtx(ctx context.Context, cfg uarch.Config) (pipeline.Result, error) {
+	for {
+		res, err := pw.simulateDetailed(ctx, cfg)
+		if err != nil && isCancellation(err) && ctx.Err() == nil {
+			continue
+		}
+		return res, err
+	}
+}
+
+func (pw *Profiled) simulateDetailed(ctx context.Context, cfg uarch.Config) (pipeline.Result, error) {
+	ann, err := pw.annotation(ctx, cfg)
 	if err != nil {
 		return pipeline.Result{}, err
 	}
@@ -826,7 +928,11 @@ func (pw *Profiled) SimulateDetailed(cfg uarch.Config) (pipeline.Result, error) 
 	}
 	st.mu.Unlock()
 	if ok {
-		<-e.done
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return pipeline.Result{}, ctx.Err()
+		}
 		if e.err != nil {
 			return pipeline.Result{}, e.err
 		}
@@ -834,7 +940,7 @@ func (pw *Profiled) SimulateDetailed(cfg uarch.Config) (pipeline.Result, error) 
 		res.Cache = ann.MemStats
 		return res, nil
 	}
-	res, err := safeSimulateAnnotated(pw.Trace, cfg, ann)
+	res, err := safeSimulateAnnotated(ctx, pw.Trace, cfg, ann)
 	st.mu.Lock()
 	e.err = err
 	if err == nil {

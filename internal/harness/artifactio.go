@@ -11,7 +11,7 @@ import (
 // planes from it before computing and write freshly computed planes
 // through to it. Attach before sharing pw across goroutines — the
 // fields are read without locking on the annotation paths.
-func (pw *Profiled) AttachArtifacts(s *artifact.Store, key string) {
+func (pw *Profiled) AttachArtifacts(s ArtifactTier, key string) {
 	pw.store = s
 	pw.storeKey = key
 }
@@ -29,7 +29,7 @@ func (pw *Profiled) ArtifactKey() string { return pw.storeKey }
 // — the artifact identity includes the built program's content
 // fingerprint, so stale traces are unreachable after a kernel edit —
 // but a warm caller still skips the expensive part, the execution.
-func ProfileProgramCached(store *artifact.Store, name string, minDyn int64, build func() *program.Program) (*Profiled, bool, error) {
+func ProfileProgramCached(store ArtifactTier, name string, minDyn int64, build func() *program.Program) (*Profiled, bool, error) {
 	prog := build()
 	id := artifact.WorkloadID{Name: name, MinDynInsts: minDyn, Code: prog.Fingerprint()}
 	if store != nil {
@@ -45,7 +45,7 @@ func ProfileProgramCached(store *artifact.Store, name string, minDyn int64, buil
 		return nil, false, err
 	}
 	if store != nil {
-		if key, serr := store.SaveWorkload(id, pw.Trace, pw.Prof); serr == nil {
+		if key, serr := store.SaveWorkload(id, pw.Trace, pw.Prof); serr == nil && key != "" {
 			pw.AttachArtifacts(store, key)
 		}
 	}

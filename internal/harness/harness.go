@@ -7,10 +7,10 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 
-	"repro/internal/artifact"
 	"repro/internal/branch"
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -40,7 +40,7 @@ type Profiled struct {
 	// annotation paths rehydrate per-component planes from the
 	// artifact store before computing and write computed planes
 	// through to it. storeKey is the workload's content key.
-	store    *artifact.Store
+	store    ArtifactTier
 	storeKey string
 }
 
@@ -58,10 +58,22 @@ func ProfileProgram(p *program.Program) (*Profiled, error) {
 // execution. minDyn ≤ 0 means one run. This is the -dyninsts scaling
 // knob: the columnar store keeps 10×+ workloads affordable.
 func ProfileProgramScaled(p *program.Program, minDyn int64) (*Profiled, error) {
+	return ProfileProgramScaledCtx(context.Background(), p, minDyn)
+}
+
+// ProfileProgramScaledCtx is ProfileProgramScaled under a context.
+// Cancellation is observed between executions of the program (one run
+// is the atomic unit of profiling — a partially recorded run would not
+// satisfy the profile's invariants), so with minDyn ≤ one run's length
+// the func behaves like the uncancellable original.
+func ProfileProgramScaledCtx(ctx context.Context, p *program.Program, minDyn int64) (*Profiled, error) {
 	b := trace.NewBuilder()
 	col := profile.NewCollector(p.Name)
 	var total int64
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		m, err := funcsim.New(p)
 		if err != nil {
 			return nil, fmt.Errorf("harness: profiling %q: %w", p.Name, err)
@@ -108,6 +120,13 @@ func MustProfileProgram(p *program.Program) *Profiled {
 // branch predictor of cfg, producing the mixed program/machine inputs
 // of the model.
 func MachineStats(tr *trace.Trace, cfg uarch.Config) (cache.Stats, branch.Stats, error) {
+	return MachineStatsCtx(context.Background(), tr, cfg)
+}
+
+// MachineStatsCtx is MachineStats under a context; cancellation is
+// observed at trace chunk boundaries (see trace.ReplayCtx) and aborts
+// the traversal with ctx.Err().
+func MachineStatsCtx(ctx context.Context, tr *trace.Trace, cfg uarch.Config) (cache.Stats, branch.Stats, error) {
 	h, err := cache.NewHierarchy(cfg.Hier)
 	if err != nil {
 		return cache.Stats{}, branch.Stats{}, err
@@ -115,13 +134,20 @@ func MachineStats(tr *trace.Trace, cfg uarch.Config) (cache.Stats, branch.Stats,
 	cc := cache.NewCollector(h)
 	bc := branch.NewCollector(cfg.Predictor.New())
 	replays.Add(1)
-	tr.Replay(trace.Tee{cc, bc})
+	if err := tr.ReplayCtx(ctx, trace.Tee{cc, bc}); err != nil {
+		return cache.Stats{}, branch.Stats{}, err
+	}
 	return cc.Stats(), bc.S, nil
 }
 
 // Inputs assembles the full model inputs for one design point.
 func (pw *Profiled) Inputs(cfg uarch.Config) (core.Inputs, error) {
-	ms, bs, err := MachineStats(pw.Trace, cfg)
+	return pw.InputsCtx(context.Background(), cfg)
+}
+
+// InputsCtx is Inputs under a context (see MachineStatsCtx).
+func (pw *Profiled) InputsCtx(ctx context.Context, cfg uarch.Config) (core.Inputs, error) {
+	ms, bs, err := MachineStatsCtx(ctx, pw.Trace, cfg)
 	if err != nil {
 		return core.Inputs{}, err
 	}
@@ -131,6 +157,16 @@ func (pw *Profiled) Inputs(cfg uarch.Config) (core.Inputs, error) {
 // Predict profiles-to-prediction for one design point.
 func (pw *Profiled) Predict(cfg uarch.Config) (*core.Stack, error) {
 	return pw.PredictOpts(cfg, core.Options{})
+}
+
+// PredictCtx is Predict under a context: the statistics replay aborts
+// at a chunk boundary once ctx ends, returning ctx.Err().
+func (pw *Profiled) PredictCtx(ctx context.Context, cfg uarch.Config) (*core.Stack, error) {
+	in, err := pw.InputsCtx(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return core.PredictOpts(in, cfg, core.Options{})
 }
 
 // PredictOpts is Predict with explicit model options (for the

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -55,6 +56,13 @@ type MultiStats struct {
 // configuration in cfgs in one pass over tr. The returned MultiStats
 // is immutable and safe for concurrent use.
 func CollectMultiStats(tr *trace.Trace, cfgs []uarch.Config) (*MultiStats, error) {
+	return CollectMultiStatsCtx(context.Background(), tr, cfgs)
+}
+
+// CollectMultiStatsCtx is CollectMultiStats under a context: the
+// single statistics traversal aborts at a trace chunk boundary once
+// ctx ends, returning ctx.Err() with nothing collected.
+func CollectMultiStatsCtx(ctx context.Context, tr *trace.Trace, cfgs []uarch.Config) (*MultiStats, error) {
 	m := &MultiStats{
 		cacheStats:  make(map[cache.HierarchyConfig]cache.Stats),
 		branchStats: make(map[uarch.PredictorKind]branch.Stats),
@@ -100,7 +108,9 @@ func CollectMultiStats(tr *trace.Trace, cfgs []uarch.Config) (*MultiStats, error
 	}
 
 	replays.Add(1)
-	tr.Replay(consumers)
+	if err := tr.ReplayCtx(ctx, consumers); err != nil {
+		return nil, err
+	}
 
 	for _, h := range hiers {
 		cs, err := engines[frontOf(h)].StatsFor(h.L2)
@@ -133,7 +143,13 @@ func (m *MultiStats) Stats(cfg uarch.Config) (cache.Stats, branch.Stats, error) 
 // returns the per-configuration model inputs, keyed by the memo
 // accessor. See CollectMultiStats.
 func (pw *Profiled) MultiInputs(cfgs []uarch.Config) (*InputsSet, error) {
-	ms, err := CollectMultiStats(pw.Trace, cfgs)
+	return pw.MultiInputsCtx(context.Background(), cfgs)
+}
+
+// MultiInputsCtx is MultiInputs under a context (see
+// CollectMultiStatsCtx).
+func (pw *Profiled) MultiInputsCtx(ctx context.Context, cfgs []uarch.Config) (*InputsSet, error) {
+	ms, err := CollectMultiStatsCtx(ctx, pw.Trace, cfgs)
 	if err != nil {
 		return nil, err
 	}

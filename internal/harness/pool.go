@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -25,8 +26,9 @@ type PoolOptions struct {
 	// Store is the persistent artifact tier: admissions check it
 	// before profiling and write freshly profiled workloads through to
 	// it, and admitted workloads rehydrate their annotation planes
-	// from it. nil disables the tier.
-	Store *artifact.Store
+	// from it. nil disables the tier. A wrapper (resilience guard,
+	// fault injector) interposes here; see ArtifactTier.
+	Store ArtifactTier
 	// MinDynInsts is the dynamic-instruction floor the pool's profile
 	// funcs honor; it is part of the artifact identity, so differently
 	// scaled traces never collide on disk. ≤ 0 means one run.
@@ -83,6 +85,16 @@ type poolEntry struct {
 	pw      *Profiled
 	err     error
 	lastUse int64
+
+	// Cancellable singleflight: refs counts the requests currently
+	// waiting on this admission (the creator holds one too), and cancel
+	// aborts the admission's work context. The admission itself runs in
+	// a detached goroutine under context.Background()-derived wctx — a
+	// leader whose own request dies does not take its followers' work
+	// with it; only when the last waiter leaves (refs drops to 0 before
+	// done closes) is the in-flight profiling cancelled.
+	refs   int
+	cancel context.CancelFunc
 }
 
 // NewPool creates a Pool with the given bounds.
@@ -126,8 +138,21 @@ type admitResult struct {
 // can compute. Production callers use GetBuilt; Get remains for
 // callers (and tests) that hand the pool an opaque profile func.
 func (p *Pool) Get(name string, profile func() (*Profiled, error)) (*Profiled, error) {
-	return p.admit(name, func() (r admitResult) {
-		r.pw, r.err = profile()
+	return p.GetCtx(context.Background(), name, func(context.Context) (*Profiled, error) {
+		return profile()
+	})
+}
+
+// GetCtx is Get under a request context. The profile func receives the
+// admission's work context — NOT ctx: the admission is shared by every
+// concurrent request for name and outlives any one of them. It is
+// cancelled only when the last interested request abandons the wait
+// (and on such a cancelled admission, requests that arrived late
+// simply re-admit). A caller whose ctx ends while waiting detaches
+// immediately with ctx.Err(); the shared run continues for the others.
+func (p *Pool) GetCtx(ctx context.Context, name string, profile func(ctx context.Context) (*Profiled, error)) (*Profiled, error) {
+	return p.admit(ctx, name, func(wctx context.Context) (r admitResult) {
+		r.pw, r.err = profile(wctx)
 		return r
 	})
 }
@@ -140,7 +165,16 @@ func (p *Pool) Get(name string, profile func() (*Profiled, error)) (*Profiled, e
 // result. Singleflight and LRU behavior match Get; build and profile
 // run at most once per admission.
 func (p *Pool) GetBuilt(name string, build func() *program.Program, profile func(prog *program.Program) (*Profiled, error)) (*Profiled, error) {
-	return p.admit(name, func() (r admitResult) {
+	return p.GetBuiltCtx(context.Background(), name, build, func(_ context.Context, prog *program.Program) (*Profiled, error) {
+		return profile(prog)
+	})
+}
+
+// GetBuiltCtx is GetBuilt under a request context; the profile func
+// receives the shared admission's work context (see GetCtx for the
+// cancellation contract).
+func (p *Pool) GetBuiltCtx(ctx context.Context, name string, build func() *program.Program, profile func(ctx context.Context, prog *program.Program) (*Profiled, error)) (*Profiled, error) {
+	return p.admit(ctx, name, func(wctx context.Context) (r admitResult) {
 		prog := build()
 		id := artifact.WorkloadID{Name: name, MinDynInsts: p.opt.MinDynInsts, Code: prog.Fingerprint()}
 		if p.opt.Store != nil {
@@ -154,12 +188,12 @@ func (p *Pool) GetBuilt(name string, build func() *program.Program, profile func
 			}
 		}
 		if r.pw == nil {
-			r.pw, r.err = profile(prog)
+			r.pw, r.err = profile(wctx, prog)
 			if r.err == nil && r.pw != nil && p.opt.Store != nil {
-				if _, serr := p.opt.Store.SaveWorkload(id, r.pw.Trace, r.pw.Prof); serr == nil {
-					r.wrote = true
-				} else {
+				if key, serr := p.opt.Store.SaveWorkload(id, r.pw.Trace, r.pw.Prof); serr != nil {
 					r.badDisk = true
+				} else if key != "" {
+					r.wrote = true
 				}
 			}
 		}
@@ -170,29 +204,91 @@ func (p *Pool) GetBuilt(name string, build func() *program.Program, profile func
 	})
 }
 
-// admit claims the singleflight entry for name and resolves it with
-// the outcome of admission.
-func (p *Pool) admit(name string, admission func() admitResult) (*Profiled, error) {
-	p.mu.Lock()
-	e, ok := p.entries[name]
-	if ok {
-		p.hits++
-		p.clock++
-		e.lastUse = p.clock
-		p.mu.Unlock()
-		<-e.done
+// isCancellation reports whether err is a context cancellation or
+// deadline — the class of admission failures a still-live request
+// retries rather than reports (they describe some other request's
+// lifetime, not this one's).
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// admit joins (or creates) the singleflight admission for name and
+// waits for it under ctx. The admission runs detached, so the entry is
+// always resolved no matter which requests come and go; a request that
+// observes a cancelled admission while its own ctx is still live
+// re-admits — as the new creator it holds a reference, so its run can
+// only be cancelled by its own departure, which guarantees progress.
+func (p *Pool) admit(ctx context.Context, name string, admission func(context.Context) admitResult) (*Profiled, error) {
+	first := true
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		p.mu.Lock()
+		e, ok := p.entries[name]
+		if ok {
+			if first {
+				p.hits++
+			}
+			p.clock++
+			e.lastUse = p.clock
+			e.refs++
+			p.mu.Unlock()
+		} else {
+			if first {
+				p.misses++
+			}
+			wctx, cancel := context.WithCancel(context.Background())
+			e = &poolEntry{done: make(chan struct{}), refs: 1, cancel: cancel}
+			p.clock++
+			e.lastUse = p.clock
+			p.entries[name] = e
+			// Eviction waits for completion (in runAdmission): evicting
+			// a healthy resident now would destroy profiling work before
+			// knowing whether this admission even succeeds, and the
+			// transient in-flight overflow is bounded by the number of
+			// concurrent cold requests.
+			p.mu.Unlock()
+			go p.runAdmission(wctx, name, e, admission)
+		}
+		first = false
+
+		select {
+		case <-e.done:
+			p.mu.Lock()
+			e.refs--
+			p.mu.Unlock()
+		case <-ctx.Done():
+			// Abandon the wait: drop our reference and cancel the work
+			// if nobody else is waiting for it. The admission goroutine
+			// still resolves the entry (with its cancellation error),
+			// so no future request can wedge on it.
+			p.mu.Lock()
+			e.refs--
+			if e.refs == 0 {
+				select {
+				case <-e.done:
+				default:
+					e.cancel()
+				}
+			}
+			p.mu.Unlock()
+			return nil, ctx.Err()
+		}
+		if e.err != nil && isCancellation(e.err) && ctx.Err() == nil {
+			// The shared run died of someone else's cancellation; this
+			// request is still live, so admit again.
+			continue
+		}
 		return e.pw, e.err
 	}
-	p.misses++
-	e = &poolEntry{done: make(chan struct{})}
-	p.clock++
-	e.lastUse = p.clock
-	p.entries[name] = e
-	// Eviction waits for completion (below): evicting a healthy
-	// resident now would destroy profiling work before knowing whether
-	// this admission even succeeds, and the transient in-flight
-	// overflow is bounded by the number of concurrent cold requests.
-	p.mu.Unlock()
+}
+
+// runAdmission executes one admission to completion and resolves its
+// entry. It runs detached from any request: waiters come and go, and
+// wctx — not any single request's context — governs the work.
+func (p *Pool) runAdmission(wctx context.Context, name string, e *poolEntry, admission func(context.Context) admitResult) {
+	defer e.cancel() // release the work context once resolved
 
 	// The admission runs arbitrary workload-build code; convert a
 	// panic into a failed admission so the entry is always resolved —
@@ -205,7 +301,7 @@ func (p *Pool) admit(name string, admission func() admitResult) (*Profiled, erro
 				r = admitResult{err: fmt.Errorf("harness: profiling %q panicked: %v", name, rec)}
 			}
 		}()
-		return admission()
+		return admission(wctx)
 	}()
 	if r.err == nil && r.pw == nil {
 		r.err = fmt.Errorf("harness: pool profile func for %q returned no workload", name)
@@ -215,9 +311,13 @@ func (p *Pool) admit(name string, admission func() admitResult) (*Profiled, erro
 	}
 
 	p.mu.Lock()
-	if r.fromDisk {
+	switch {
+	case r.fromDisk:
 		p.diskHits++
-	} else {
+	case isCancellation(r.err):
+		// A cancelled run produced nothing; counting it as a profiling
+		// run would break the "warm process profiles nothing" pins.
+	default:
 		p.profiles++
 	}
 	if r.wrote {
@@ -238,7 +338,6 @@ func (p *Pool) admit(name string, admission func() admitResult) (*Profiled, erro
 	// cold miss.
 	p.evictLocked(e)
 	p.mu.Unlock()
-	return r.pw, r.err
 }
 
 // evictLocked enforces MaxWorkloads, evicting completed entries

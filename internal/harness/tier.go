@@ -1,0 +1,33 @@
+package harness
+
+import (
+	"repro/internal/artifact"
+	"repro/internal/cache"
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+// ArtifactTier is the persistent workload/plane tier the harness reads
+// through: exactly the artifact.Store methods the pool and the
+// annotation cache use. Decoupling them from the concrete store lets a
+// resilience layer (retry + circuit breaker) or a fault-injection
+// wrapper interpose without the harness knowing — the contract is the
+// store's: loads return artifact.ErrNotFound for absent entries (the
+// caller computes fresh), any other error marks an unusable artifact,
+// and saves are best-effort write-through.
+//
+// *artifact.Store implements the interface, including as a typed nil
+// (its methods are nil-receiver-safe and behave like an empty store),
+// so wrappers can delegate unconditionally.
+type ArtifactTier interface {
+	WorkloadKey(id artifact.WorkloadID) string
+	LoadWorkload(id artifact.WorkloadID) (*trace.Trace, *profile.Profile, error)
+	SaveWorkload(id artifact.WorkloadID, tr *trace.Trace, prof *profile.Profile) (string, error)
+	LoadMemPlane(workloadKey string, h cache.HierarchyConfig) (*trace.BytePlane, cache.Stats, error)
+	SaveMemPlane(workloadKey string, h cache.HierarchyConfig, classes *trace.BytePlane, st cache.Stats) error
+	LoadBranchPlane(workloadKey, predictor string) (*trace.BitPlane, error)
+	SaveBranchPlane(workloadKey, predictor string, p *trace.BitPlane) error
+}
+
+// Interface check: the concrete store is the canonical tier.
+var _ ArtifactTier = (*artifact.Store)(nil)

@@ -50,6 +50,30 @@ func (b *Budget) Acquire(ctx context.Context, max int) (int, error) {
 	return n, nil
 }
 
+// TryAcquire takes up to max tokens without blocking, returning the
+// number taken and whether at least one was available. The caller must
+// Release exactly the returned count.
+func (b *Budget) TryAcquire(max int) (int, bool) {
+	if max < 1 {
+		max = 1
+	}
+	select {
+	case <-b.tokens:
+	default:
+		return 0, false
+	}
+	n := 1
+	for n < max {
+		select {
+		case <-b.tokens:
+			n++
+		default:
+			return n, true
+		}
+	}
+	return n, true
+}
+
 // Release returns n tokens to the pot.
 func (b *Budget) Release(n int) {
 	for i := 0; i < n; i++ {

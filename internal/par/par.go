@@ -6,6 +6,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -43,24 +44,48 @@ func Workers(n int) int {
 // callers, so partial slices never appear); f must be safe for
 // concurrent invocation on distinct indices.
 func ForEach(workers, n int, f func(i int) error) error {
+	return ForEachCtx(context.Background(), workers, n, f)
+}
+
+// ForEachCtx is ForEach under a context: once ctx is done, no new
+// iteration starts (iterations already running finish) and the loop
+// returns ctx.Err() if it cut any iteration — so a cancelled caller
+// must treat its index-addressed results as partial. An earlier
+// iteration error still wins over the cancellation, matching ForEach's
+// first-error contract.
+func ForEachCtx(ctx context.Context, workers, n int, f func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	done := ctx.Done()
 	w := Workers(workers)
 	if w > n {
 		w = n
 	}
 	if w == 1 {
 		var first error
+		cut := false
 		for i := 0; i < n; i++ {
+			select {
+			case <-done:
+				cut = true
+			default:
+			}
+			if cut {
+				break
+			}
 			if err := f(i); err != nil && first == nil {
 				first = err
 			}
+		}
+		if first == nil && cut {
+			first = ctx.Err()
 		}
 		return first
 	}
 	var (
 		next  atomic.Int64
+		cut   atomic.Bool
 		wg    sync.WaitGroup
 		mu    sync.Mutex
 		first error
@@ -70,6 +95,12 @@ func ForEach(workers, n int, f func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
+				select {
+				case <-done:
+					cut.Store(true)
+					return
+				default:
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -85,5 +116,8 @@ func ForEach(workers, n int, f func(i int) error) error {
 		}()
 	}
 	wg.Wait()
+	if first == nil && cut.Load() {
+		first = ctx.Err()
+	}
 	return first
 }

@@ -1,0 +1,160 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Queue admission errors. Callers map them to transport-level statuses
+// (the service answers 429 for shed load and 503 for a draining
+// queue); the distinction between "full" and "waited too long" is kept
+// so metrics can tell early shedding from slow drainage.
+var (
+	// ErrQueueFull rejects a request that would exceed the queue-depth
+	// cap: the pot is empty and enough requests are already waiting.
+	ErrQueueFull = errors.New("par: worker budget exhausted and admission queue full")
+	// ErrQueueWait rejects a request that waited longer than the
+	// wait-time cap without obtaining a token.
+	ErrQueueWait = errors.New("par: timed out waiting for a worker token")
+	// ErrQueueClosed rejects requests arriving at (or queued in) a
+	// closed queue — the graceful-shutdown drain.
+	ErrQueueClosed = errors.New("par: admission queue closed")
+)
+
+// Queue is the admission-control layer in front of a Budget: a bounded
+// wait-queue with a depth cap and a wait-time cap. Requests that find
+// a free token acquire immediately; requests that would have to wait
+// either park (within the caps) or are shed with a typed error so the
+// caller can answer "try again later" cheaply instead of letting
+// goroutines pile up behind an exhausted pot. Close drains the queue
+// for shutdown: every parked request is rejected immediately and no
+// new request is admitted, while tokens already handed out remain
+// valid until released.
+type Queue struct {
+	b        *Budget
+	maxDepth int           // max concurrently waiting requests; ≤ 0 means unbounded
+	maxWait  time.Duration // max time a request may wait; ≤ 0 means unbounded
+
+	mu     sync.Mutex
+	depth  int
+	closed bool
+	drain  chan struct{} // closed by Close; wakes every parked waiter
+
+	shedFull atomic.Int64
+	shedWait atomic.Int64
+}
+
+// NewQueue wraps b with admission control. maxDepth ≤ 0 means an
+// unbounded queue; maxWait ≤ 0 means no wait cap.
+func NewQueue(b *Budget, maxDepth int, maxWait time.Duration) *Queue {
+	return &Queue{b: b, maxDepth: maxDepth, maxWait: maxWait, drain: make(chan struct{})}
+}
+
+// Budget returns the underlying token pot.
+func (q *Queue) Budget() *Budget { return q.b }
+
+// Depth returns the number of requests currently parked in the queue.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.depth
+}
+
+// ShedFull returns the number of requests shed by the depth cap.
+func (q *Queue) ShedFull() int64 { return q.shedFull.Load() }
+
+// ShedWait returns the number of requests shed by the wait-time cap.
+func (q *Queue) ShedWait() int64 { return q.shedWait.Load() }
+
+// Close drains the queue: every parked request is rejected with
+// ErrQueueClosed immediately and every later Acquire fails the same
+// way. Tokens already acquired stay valid; Release still works.
+// Close is idempotent.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.drain)
+	}
+	q.mu.Unlock()
+}
+
+// Closed reports whether the queue has been drained.
+func (q *Queue) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
+// Acquire obtains at least one worker token (opportunistically up to
+// max, like Budget.Acquire), parking in the bounded queue when the pot
+// is empty. It fails fast with ErrQueueFull when the queue is at its
+// depth cap, ErrQueueWait when the wait cap elapses, ErrQueueClosed
+// after Close, or ctx.Err() when the request is cancelled while
+// parked. The caller must Release exactly the returned count.
+func (q *Queue) Acquire(ctx context.Context, max int) (int, error) {
+	if max < 1 {
+		max = 1
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return 0, ErrQueueClosed
+	}
+	q.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	// Fast path: a free token skips queue accounting entirely.
+	if n, ok := q.b.TryAcquire(max); ok {
+		return n, nil
+	}
+
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return 0, ErrQueueClosed
+	}
+	if q.maxDepth > 0 && q.depth >= q.maxDepth {
+		q.mu.Unlock()
+		q.shedFull.Add(1)
+		return 0, ErrQueueFull
+	}
+	q.depth++
+	q.mu.Unlock()
+	defer func() {
+		q.mu.Lock()
+		q.depth--
+		q.mu.Unlock()
+	}()
+
+	var wait <-chan time.Time
+	if q.maxWait > 0 {
+		tm := time.NewTimer(q.maxWait)
+		defer tm.Stop()
+		wait = tm.C
+	}
+	select {
+	case <-q.b.tokens:
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	case <-wait:
+		q.shedWait.Add(1)
+		return 0, ErrQueueWait
+	case <-q.drain:
+		return 0, ErrQueueClosed
+	}
+	n := 1
+	for n < max {
+		select {
+		case <-q.b.tokens:
+			n++
+		default:
+			return n, nil
+		}
+	}
+	return n, nil
+}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
@@ -43,9 +44,26 @@ type agroup struct {
 // is bit-identical to Simulate's, differentially tested across the
 // full Table 2 space.
 func SimulateAnnotated(tr *trace.Trace, cfg uarch.Config, ann Annotation) (Result, error) {
+	return SimulateAnnotatedCtx(context.Background(), tr, cfg, ann)
+}
+
+// ctxCheckCycles is the cycle-loop stride between cancellation checks
+// in SimulateAnnotatedCtx — one check per chunk's worth of work, so an
+// abandoned replay stops within roughly a chunk boundary while the hot
+// loop stays branch-predictable.
+const ctxCheckCycles = trace.ChunkLen
+
+// SimulateAnnotatedCtx is SimulateAnnotated under a context: the
+// timing loop polls for cancellation every ~chunk's worth of cycles
+// and aborts with ctx.Err(). Cancellation never changes a completed
+// replay — the Result of an uncancelled run is bit-identical to
+// SimulateAnnotated's.
+func SimulateAnnotatedCtx(ctx context.Context, tr *trace.Trace, cfg uarch.Config, ann Annotation) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
+	ctxDone := ctx.Done()
+	ctxCountdown := int64(ctxCheckCycles)
 	var res Result
 	n := tr.Len()
 	res.Instructions = n
@@ -116,6 +134,14 @@ func SimulateAnnotated(tr *trace.Trace, cfg uarch.Config, ann Annotation) (Resul
 	)
 
 	for pos < n || inFlight > 0 {
+		if ctxCountdown--; ctxCountdown <= 0 {
+			select {
+			case <-ctxDone:
+				return Result{}, ctx.Err()
+			default:
+			}
+			ctxCountdown = ctxCheckCycles
+		}
 		// --- Execute admission from the last front-end stage -------------
 		// Execute-blocked and memory-blocked are admission-loop
 		// invariants (exBlockedUntil only moves on a mul/div admission,

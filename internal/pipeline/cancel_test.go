@@ -1,0 +1,44 @@
+package pipeline_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/pipeline"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+// TestSimulateAnnotatedCtx pins the replay-cancellation contract: an
+// uncancelled run is bit-identical to SimulateAnnotated, and a
+// pre-cancelled context aborts with its error instead of replaying.
+func TestSimulateAnnotatedCtx(t *testing.T) {
+	spec, err := workloads.ByName("crc32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := harness.ProfileProgram(spec.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := uarch.Default()
+	ann := annotationFor(t, pw.Trace, cfg)
+
+	want, err := pipeline.SimulateAnnotated(pw.Trace, cfg, ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pipeline.SimulateAnnotatedCtx(context.Background(), pw.Trace, cfg, ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffResults(t, "live-context run", want, got)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := pipeline.SimulateAnnotatedCtx(ctx, pw.Trace, cfg, ann); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled replay returned %v, want context.Canceled", err)
+	}
+}

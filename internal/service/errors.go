@@ -1,0 +1,86 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/par"
+)
+
+// Error taxonomy codes. Every failing response carries exactly one of
+// these in {"error":{"code":...}}, so clients and load balancers can
+// branch on machine-readable causes instead of parsing messages.
+const (
+	codeBadRequest   = "bad_request"       // 400: the request itself is malformed
+	codeNotFound     = "not_found"         // 404: unknown benchmark
+	codeOverloaded   = "overloaded"        // 429: shed by the admission queue; retry later
+	codeInternal     = "internal"          // 500: a compute path failed
+	codePanic        = "panic"             // 500: a handler panicked (recovered)
+	codeCancelled    = "cancelled"         // 503: the client went away mid-request
+	codeDeadline     = "deadline_exceeded" // 503: the per-endpoint deadline elapsed
+	codeShuttingDown = "shutting_down"     // 503: queued behind a draining server
+)
+
+// codeStatus maps taxonomy codes to their HTTP statuses.
+var codeStatus = map[string]int{
+	codeBadRequest:   http.StatusBadRequest,
+	codeNotFound:     http.StatusNotFound,
+	codeOverloaded:   http.StatusTooManyRequests,
+	codeInternal:     http.StatusInternalServerError,
+	codePanic:        http.StatusInternalServerError,
+	codeCancelled:    http.StatusServiceUnavailable,
+	codeDeadline:     http.StatusServiceUnavailable,
+	codeShuttingDown: http.StatusServiceUnavailable,
+}
+
+// classify maps an error to its taxonomy code. Lifecycle errors —
+// cancellation, deadlines, shed load, a draining queue — win over the
+// handler's fallback, because they can surface from any depth of the
+// compute stack wrapped in arbitrary context.
+func classify(err error, fallback string) string {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return codeDeadline
+	case errors.Is(err, context.Canceled):
+		return codeCancelled
+	case errors.Is(err, par.ErrQueueFull), errors.Is(err, par.ErrQueueWait):
+		return codeOverloaded
+	case errors.Is(err, par.ErrQueueClosed):
+		return codeShuttingDown
+	}
+	return fallback
+}
+
+// ErrorBody is the JSON shape of every failing response.
+type ErrorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// writeErr classifies err against the taxonomy (fallback names the
+// handler's own diagnosis), bumps the matching counters, and writes
+// the error body. Shed responses carry Retry-After so well-behaved
+// clients back off.
+func (s *Server) writeErr(w http.ResponseWriter, err error, fallback string) {
+	code := classify(err, fallback)
+	s.errCount.Add(1)
+	switch code {
+	case codeCancelled:
+		s.cancelled.Add(1)
+	case codeDeadline:
+		s.deadlineExceeded.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if code == codeOverloaded {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(codeStatus[code])
+	var body ErrorBody
+	body.Error.Code = code
+	body.Error.Message = err.Error()
+	_ = json.NewEncoder(w).Encode(body)
+}

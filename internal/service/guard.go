@@ -1,0 +1,176 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/cache"
+	"repro/internal/harness"
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+// errStoreDegraded marks operations refused by the tripped breaker.
+// The pool treats it like any other disk error — profiling proceeds —
+// so a degraded store costs one error per save, never a request.
+var errStoreDegraded = errors.New("service: artifact store degraded, skipping disk")
+
+// storeGuard wraps the artifact tier with retry-with-backoff and a
+// circuit breaker. A transient I/O fault is retried in place; a store
+// that keeps failing trips the breaker, and for a cooldown window the
+// service runs compute-only — loads answer ErrNotFound (profile
+// fresh), saves are skipped — instead of paying a dying disk's latency
+// on every request. After the cooldown the next operation probes the
+// store again and a success closes the breaker.
+//
+// ErrNotFound and ErrInvalid never count as faults and are never
+// retried: they are the store answering truthfully ("nothing here",
+// "this file is unusable"), not the disk failing to answer.
+type storeGuard struct {
+	inner     harness.ArtifactTier
+	retries   int           // extra attempts per operation after the first
+	backoff   time.Duration // sleep before retry n is backoff << (n-1)
+	tripAfter int           // consecutive failed operations that open the breaker
+	cooldown  time.Duration // how long an open breaker refuses the store
+
+	mu            sync.Mutex
+	consecutive   int
+	degradedUntil time.Time
+
+	retried atomic.Int64 // retry attempts performed
+	trips   atomic.Int64 // times the breaker opened
+}
+
+func newStoreGuard(inner harness.ArtifactTier, retries int, backoff time.Duration, tripAfter int, cooldown time.Duration) *storeGuard {
+	if retries < 0 {
+		retries = 0
+	}
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	if tripAfter < 1 {
+		tripAfter = 1
+	}
+	if cooldown <= 0 {
+		cooldown = 30 * time.Second
+	}
+	return &storeGuard{inner: inner, retries: retries, backoff: backoff, tripAfter: tripAfter, cooldown: cooldown}
+}
+
+// Degraded reports whether the breaker is currently open.
+func (g *storeGuard) Degraded() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return time.Now().Before(g.degradedUntil)
+}
+
+// Retried returns the number of retry attempts performed.
+func (g *storeGuard) Retried() int64 { return g.retried.Load() }
+
+// Trips returns how many times the breaker opened.
+func (g *storeGuard) Trips() int64 { return g.trips.Load() }
+
+// truthful reports errors that are answers, not faults.
+func truthful(err error) bool {
+	return err == nil || errors.Is(err, artifact.ErrNotFound) || errors.Is(err, artifact.ErrInvalid)
+}
+
+// run executes op under the retry/breaker policy. It returns
+// errStoreDegraded without touching the store while the breaker is
+// open.
+func (g *storeGuard) run(op func() error) error {
+	if g.Degraded() {
+		return errStoreDegraded
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = op()
+		if truthful(err) {
+			g.mu.Lock()
+			g.consecutive = 0
+			g.mu.Unlock()
+			return err
+		}
+		if attempt >= g.retries {
+			break
+		}
+		g.retried.Add(1)
+		time.Sleep(g.backoff << attempt)
+	}
+	g.mu.Lock()
+	g.consecutive++
+	if g.consecutive >= g.tripAfter {
+		g.consecutive = 0
+		g.degradedUntil = time.Now().Add(g.cooldown)
+		g.trips.Add(1)
+	}
+	g.mu.Unlock()
+	return err
+}
+
+// WorkloadKey is pure computation; it never touches the disk and so
+// bypasses the breaker.
+func (g *storeGuard) WorkloadKey(id artifact.WorkloadID) string { return g.inner.WorkloadKey(id) }
+
+func (g *storeGuard) LoadWorkload(id artifact.WorkloadID) (tr *trace.Trace, prof *profile.Profile, err error) {
+	rerr := g.run(func() error {
+		tr, prof, err = g.inner.LoadWorkload(id)
+		return err
+	})
+	if errors.Is(rerr, errStoreDegraded) {
+		// Compute-only mode: report a miss so the caller profiles fresh.
+		return nil, nil, artifact.ErrNotFound
+	}
+	return tr, prof, rerr
+}
+
+func (g *storeGuard) SaveWorkload(id artifact.WorkloadID, tr *trace.Trace, prof *profile.Profile) (key string, err error) {
+	rerr := g.run(func() error {
+		key, err = g.inner.SaveWorkload(id, tr, prof)
+		return err
+	})
+	if rerr != nil {
+		return "", rerr
+	}
+	return key, nil
+}
+
+func (g *storeGuard) LoadMemPlane(workloadKey string, h cache.HierarchyConfig) (p *trace.BytePlane, st cache.Stats, err error) {
+	rerr := g.run(func() error {
+		p, st, err = g.inner.LoadMemPlane(workloadKey, h)
+		return err
+	})
+	if errors.Is(rerr, errStoreDegraded) {
+		return nil, cache.Stats{}, artifact.ErrNotFound
+	}
+	return p, st, rerr
+}
+
+func (g *storeGuard) SaveMemPlane(workloadKey string, h cache.HierarchyConfig, classes *trace.BytePlane, st cache.Stats) error {
+	return g.run(func() error {
+		return g.inner.SaveMemPlane(workloadKey, h, classes, st)
+	})
+}
+
+func (g *storeGuard) LoadBranchPlane(workloadKey, predictor string) (p *trace.BitPlane, err error) {
+	rerr := g.run(func() error {
+		p, err = g.inner.LoadBranchPlane(workloadKey, predictor)
+		return err
+	})
+	if errors.Is(rerr, errStoreDegraded) {
+		return nil, artifact.ErrNotFound
+	}
+	return p, rerr
+}
+
+func (g *storeGuard) SaveBranchPlane(workloadKey, predictor string, p *trace.BitPlane) error {
+	return g.run(func() error {
+		return g.inner.SaveBranchPlane(workloadKey, predictor, p)
+	})
+}
+
+// Interface check.
+var _ harness.ArtifactTier = (*storeGuard)(nil)

@@ -7,6 +7,15 @@
 // the resident trace in microseconds-to-milliseconds. Results are
 // bit-identical to the cmd/inorder-model and cmd/dse-explore CLIs: the
 // handlers call the exact same harness/dse entry points.
+//
+// Every handler runs under the request's context plus an optional
+// per-endpoint deadline: a disconnected client or an elapsed deadline
+// cancels the compute stack at trace-chunk granularity, and the
+// response carries a machine-readable error code (see errors.go).
+// Worker tokens are handed out through a bounded admission queue that
+// sheds load early (429) instead of letting waiters pile up, and the
+// artifact tier sits behind a retry/circuit-breaker guard so a dying
+// disk degrades the service to compute-only instead of slowing it.
 package service
 
 import (
@@ -18,6 +27,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/artifact"
 	"repro/internal/core"
@@ -29,6 +39,17 @@ import (
 	"repro/internal/uarch"
 	"repro/internal/workloads"
 )
+
+// Hooks are test seams: chaos tests inject handler panics and disk
+// faults here. Both are nil in production.
+type Hooks struct {
+	// BeforeHandle, when non-nil, runs at the top of every counted
+	// handler, inside the panic-recovery scope.
+	BeforeHandle func(*http.Request)
+	// WrapTier, when non-nil, interposes on the artifact tier between
+	// the store and the retry/breaker guard (e.g. a faultfs.Tier).
+	WrapTier func(harness.ArtifactTier) harness.ArtifactTier
+}
 
 // Config bounds and sizes a Server.
 type Config struct {
@@ -56,6 +77,36 @@ type Config struct {
 	// admission, so a restarted service answers with zero profiling
 	// for every workload already on disk. "" disables the tier.
 	ArtifactDir string
+
+	// PredictTimeout caps one /v1/predict request; ≤ 0 means no
+	// deadline. Elapsing answers 503 {"error":{"code":"deadline_exceeded"}}.
+	PredictTimeout time.Duration
+	// ExploreTimeout caps one /v1/explore request; ≤ 0 means no
+	// deadline.
+	ExploreTimeout time.Duration
+	// QueueDepth bounds requests parked waiting for a worker token;
+	// arrivals beyond it are shed with 429. ≤ 0 means unbounded.
+	QueueDepth int
+	// QueueWait bounds how long a request may park before being shed
+	// with 429. ≤ 0 means unbounded.
+	QueueWait time.Duration
+
+	// StoreRetries is the extra attempts per failed artifact-store
+	// operation (0 means the default of 2; negative disables retries).
+	StoreRetries int
+	// StoreBackoff is the sleep before the first retry, doubling per
+	// attempt; ≤ 0 means the default (10ms).
+	StoreBackoff time.Duration
+	// StoreTripAfter opens the circuit breaker after this many
+	// consecutive failed store operations (0 means the default of 5).
+	StoreTripAfter int
+	// StoreCooldown is how long a tripped breaker keeps the service
+	// compute-only before probing the store again; ≤ 0 means the
+	// default (30s).
+	StoreCooldown time.Duration
+
+	// Hooks are chaos-test injection points; zero in production.
+	Hooks Hooks
 }
 
 // Server serves the modeld API. Create with New and mount Handler.
@@ -63,7 +114,9 @@ type Server struct {
 	cfg    Config
 	pool   *harness.Pool
 	store  *artifact.Store
+	guard  *storeGuard
 	budget *par.Budget
+	queue  *par.Queue
 	pm     power.Model
 	mux    *http.ServeMux
 
@@ -75,6 +128,10 @@ type Server struct {
 	reqMetrics   atomic.Int64
 	errCount     atomic.Int64
 	inFlight     atomic.Int64
+
+	cancelled        atomic.Int64
+	deadlineExceeded atomic.Int64
+	panics           atomic.Int64
 
 	// ids memoizes each benchmark's artifact identity (building the
 	// program once per process to fingerprint its IR), so listing and
@@ -102,22 +159,45 @@ func (s *Server) workloadID(spec workloads.Spec) artifact.WorkloadID {
 // store when one is configured.
 func New(cfg Config) (*Server, error) {
 	var store *artifact.Store
+	var guard *storeGuard
 	if cfg.ArtifactDir != "" {
 		var err error
 		if store, err = artifact.Open(cfg.ArtifactDir); err != nil {
 			return nil, err
 		}
+		var tier harness.ArtifactTier = store
+		if cfg.Hooks.WrapTier != nil {
+			tier = cfg.Hooks.WrapTier(tier)
+		}
+		retries := cfg.StoreRetries
+		switch {
+		case retries == 0:
+			retries = 2
+		case retries < 0:
+			retries = 0
+		}
+		tripAfter := cfg.StoreTripAfter
+		if tripAfter == 0 {
+			tripAfter = 5
+		}
+		guard = newStoreGuard(tier, retries, cfg.StoreBackoff, tripAfter, cfg.StoreCooldown)
+	}
+	budget := par.NewBudget(cfg.Workers)
+	poolOpts := harness.PoolOptions{
+		MaxWorkloads:  cfg.MaxWorkloads,
+		MaxPlaneBytes: cfg.MaxPlaneBytes,
+		MinDynInsts:   cfg.MinDynInsts,
+	}
+	if guard != nil {
+		poolOpts.Store = guard
 	}
 	s := &Server{
-		cfg:   cfg,
-		store: store,
-		pool: harness.NewPool(harness.PoolOptions{
-			MaxWorkloads:  cfg.MaxWorkloads,
-			MaxPlaneBytes: cfg.MaxPlaneBytes,
-			Store:         store,
-			MinDynInsts:   cfg.MinDynInsts,
-		}),
-		budget: par.NewBudget(cfg.Workers),
+		cfg:    cfg,
+		store:  store,
+		guard:  guard,
+		pool:   harness.NewPool(poolOpts),
+		budget: budget,
+		queue:  par.NewQueue(budget, cfg.QueueDepth, cfg.QueueWait),
 		pm:     power.NewModel(),
 		mux:    http.NewServeMux(),
 	}
@@ -154,7 +234,7 @@ func (s *Server) WarmStart() (int, error) {
 		if !s.store.HasWorkload(s.workloadID(spec)) {
 			continue
 		}
-		if _, _, err := s.profiled(spec.Name); err != nil {
+		if _, _, err := s.profiled(context.Background(), spec.Name); err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("warm-starting %s: %w", spec.Name, err)
 			}
@@ -171,11 +251,32 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Pool exposes the workload cache (tests assert its counters).
 func (s *Server) Pool() *harness.Pool { return s.pool }
 
+// BeginShutdown starts the graceful drain: requests parked in the
+// admission queue are rejected immediately with 503
+// {"error":{"code":"shutting_down"}}, and no later request can park.
+// Requests already holding worker tokens run to completion under
+// http.Server.Shutdown's grace period. modeld calls this when the
+// termination signal arrives, before shutting the listener down.
+func (s *Server) BeginShutdown() { s.queue.Close() }
+
+// count is the per-endpoint middleware: request counting, in-flight
+// tracking, the chaos hook, and panic recovery — a panicking handler
+// answers 500 {"error":{"code":"panic"}} and bumps a counter instead
+// of killing the process.
 func (s *Server) count(c *atomic.Int64, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		c.Add(1)
 		s.inFlight.Add(1)
 		defer s.inFlight.Add(-1)
+		defer func() {
+			if v := recover(); v != nil {
+				s.panics.Add(1)
+				s.writeErr(w, fmt.Errorf("handler panicked: %v", v), codePanic)
+			}
+		}()
+		if s.cfg.Hooks.BeforeHandle != nil {
+			s.cfg.Hooks.BeforeHandle(r)
+		}
 		h(w, r)
 	}
 }
@@ -187,40 +288,44 @@ func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	_ = enc.Encode(v)
 }
 
-func (s *Server) writeErr(w http.ResponseWriter, code int, err error) {
-	s.errCount.Add(1)
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+// deadlineCtx derives the handler context: the request's own context
+// (cancelled when the client disconnects) plus the endpoint's
+// deadline, when one is configured.
+func deadlineCtx(r *http.Request, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), d)
 }
 
-// profiled resolves a benchmark through the bounded workload pool,
-// returning the HTTP status for failures: an unknown name is the
-// client's mistake (404), a failed profiling run is ours (500). The
-// profiling run itself holds one worker token — CPU-heavy admission
-// work is bounded by the pot — but singleflight waiters park
-// tokenless, so requests for resident benchmarks are never stalled
-// behind an unrelated profiling queue.
-func (s *Server) profiled(name string) (*harness.Profiled, int, error) {
+// profiled resolves a benchmark through the bounded workload pool
+// under ctx, returning the taxonomy fallback code for failures: an
+// unknown name is the client's mistake (not_found), a failed profiling
+// run is ours (internal); lifecycle errors classify themselves. The
+// profiling run executes under the admission's work context — shared
+// by every singleflight waiter, alive as long as any of them stays,
+// cancelled when the last one leaves — and draws its worker token
+// through the admission queue, so profiling load is shed like any
+// other work. Singleflight waiters park tokenless, so requests for
+// resident benchmarks are never stalled behind an unrelated profiling
+// queue.
+func (s *Server) profiled(ctx context.Context, name string) (*harness.Profiled, string, error) {
 	spec, err := workloads.ByName(name)
 	if err != nil {
-		return nil, http.StatusNotFound, err
+		return nil, codeNotFound, err
 	}
-	pw, err := s.pool.GetBuilt(name, spec.Build, func(prog *program.Program) (*harness.Profiled, error) {
-		// Detached from the admitting request's context: the run is
-		// shared by every singleflight waiter, so one client's
-		// disconnect must not fail the others' healthy requests.
-		n, err := s.budget.Acquire(context.Background(), 1)
+	pw, err := s.pool.GetBuiltCtx(ctx, name, spec.Build, func(wctx context.Context, prog *program.Program) (*harness.Profiled, error) {
+		n, err := s.queue.Acquire(wctx, 1)
 		if err != nil {
 			return nil, err
 		}
 		defer s.budget.Release(n)
-		return harness.ProfileProgramScaled(prog, s.cfg.MinDynInsts)
+		return harness.ProfileProgramScaledCtx(wctx, prog, s.cfg.MinDynInsts)
 	})
 	if err != nil {
-		return nil, http.StatusInternalServerError, err
+		return nil, codeInternal, err
 	}
-	return pw, http.StatusOK, nil
+	return pw, "", nil
 }
 
 // checkParams rejects query parameters outside the endpoint's
@@ -347,39 +452,41 @@ type PredictResponse struct {
 // the service form of `inorder-model -bench B -width ... [-validate]`.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if err := checkParams(r, "bench", "width", "stages", "l2kb", "l2ways", "pred", "validate"); err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, err, codeBadRequest)
 		return
 	}
 	bench := r.URL.Query().Get("bench")
 	if bench == "" {
-		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("missing required parameter bench"))
+		s.writeErr(w, fmt.Errorf("missing required parameter bench"), codeBadRequest)
 		return
 	}
 	cfg, err := decodeConfig(r)
 	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, err, codeBadRequest)
 		return
 	}
 	validate, err := boolParam(r, "validate")
 	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, err, codeBadRequest)
 		return
 	}
-	pw, code, err := s.profiled(bench)
+	ctx, cancel := deadlineCtx(r, s.cfg.PredictTimeout)
+	defer cancel()
+	pw, fallback, err := s.profiled(ctx, bench)
 	if err != nil {
-		s.writeErr(w, code, err)
+		s.writeErr(w, err, fallback)
 		return
 	}
-	n, err := s.budget.Acquire(r.Context(), 1)
+	n, err := s.queue.Acquire(ctx, 1)
 	if err != nil {
-		s.writeErr(w, http.StatusServiceUnavailable, err)
+		s.writeErr(w, err, codeInternal)
 		return
 	}
 	defer s.budget.Release(n)
 
-	st, err := pw.Predict(cfg)
+	st, err := pw.PredictCtx(ctx, cfg)
 	if err != nil {
-		s.writeErr(w, http.StatusInternalServerError, err)
+		s.writeErr(w, err, codeInternal)
 		return
 	}
 	stack := make(map[string]float64)
@@ -400,9 +507,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		},
 	}
 	if validate {
-		sim, err := pw.SimulateDetailed(cfg)
+		sim, err := pw.SimulateDetailedCtx(ctx, cfg)
 		if err != nil {
-			s.writeErr(w, http.StatusInternalServerError, err)
+			s.writeErr(w, err, codeInternal)
 			return
 		}
 		sj := &SimJSON{Cycles: sim.Cycles, CPI: sim.CPI()}
@@ -500,32 +607,34 @@ func spaceFilter(r *http.Request) ([]uarch.Config, error) {
 // annotation-plane fast path, under the per-request worker budget.
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	if err := checkParams(r, "bench", "width", "stages", "l2kb", "l2ways", "pred", "validate", "top"); err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, err, codeBadRequest)
 		return
 	}
 	bench := r.URL.Query().Get("bench")
 	if bench == "" {
-		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("missing required parameter bench"))
+		s.writeErr(w, fmt.Errorf("missing required parameter bench"), codeBadRequest)
 		return
 	}
 	space, err := spaceFilter(r)
 	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, err, codeBadRequest)
 		return
 	}
 	top, err := intParam(r, "top", 0)
 	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, err, codeBadRequest)
 		return
 	}
 	validate, err := boolParam(r, "validate")
 	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, err, codeBadRequest)
 		return
 	}
-	pw, code, err := s.profiled(bench)
+	ctx, cancel := deadlineCtx(r, s.cfg.ExploreTimeout)
+	defer cancel()
+	pw, fallback, err := s.profiled(ctx, bench)
 	if err != nil {
-		s.writeErr(w, code, err)
+		s.writeErr(w, err, fallback)
 		return
 	}
 
@@ -543,21 +652,21 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 			want = 1
 		}
 	}
-	tokens, err := s.budget.Acquire(r.Context(), want)
+	tokens, err := s.queue.Acquire(ctx, want)
 	if err != nil {
-		s.writeErr(w, http.StatusServiceUnavailable, err)
+		s.writeErr(w, err, codeInternal)
 		return
 	}
 	defer s.budget.Release(tokens)
 
 	var pts []dse.Point
 	if validate {
-		pts, err = dse.ExploreValidated(pw, space, s.pm, tokens)
+		pts, err = dse.ExploreValidatedCtx(ctx, pw, space, s.pm, tokens)
 	} else {
-		pts, err = dse.Explore(pw, space, s.pm)
+		pts, err = dse.ExploreCtx(ctx, pw, space, s.pm)
 	}
 	if err != nil {
-		s.writeErr(w, http.StatusInternalServerError, err)
+		s.writeErr(w, err, codeInternal)
 		return
 	}
 
@@ -641,9 +750,9 @@ type StoreHealth struct {
 }
 
 // HealthResponse answers /healthz. Status stays "ok" as long as the
-// service can answer requests; a read-only artifact store degrades
-// (cold profiling keeps working, writes are skipped) and is reported
-// without failing liveness.
+// service can answer requests; it becomes "degraded" while the
+// artifact-store circuit breaker is open (cold profiling keeps
+// working, disk is skipped) — reported without failing liveness.
 type HealthResponse struct {
 	Status        string       `json:"status"`
 	ArtifactStore *StoreHealth `json:"artifact_store,omitempty"`
@@ -653,7 +762,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	resp := HealthResponse{Status: "ok"}
 	if s.store != nil {
 		sh := &StoreHealth{Dir: s.store.Dir(), FormatVersion: artifact.FormatVersion}
-		if err := s.store.Probe(); err != nil {
+		if s.guard != nil && s.guard.Degraded() {
+			// Don't probe a disk the breaker just gave up on: that
+			// would reintroduce the latency the cooldown exists to
+			// avoid.
+			resp.Status = "degraded"
+			sh.Error = "circuit breaker open: store operations suspended for cooldown"
+		} else if err := s.store.Probe(); err != nil {
 			sh.Error = err.Error()
 		} else {
 			sh.Writable = true
@@ -694,7 +809,7 @@ func (s *Server) handleArtifacts(w http.ResponseWriter, r *http.Request) {
 	resp.Dir = s.store.Dir()
 	entries, err := s.store.List()
 	if err != nil {
-		s.writeErr(w, http.StatusInternalServerError, err)
+		s.writeErr(w, err, codeInternal)
 		return
 	}
 	resp.Entries = entries
@@ -722,6 +837,20 @@ type Metrics struct {
 		InUse      int `json:"in_use"`
 		PerExplore int `json:"per_explore"`
 	} `json:"workers"`
+	Lifecycle struct {
+		Cancelled        int64 `json:"cancelled"`
+		DeadlineExceeded int64 `json:"deadline_exceeded"`
+		Shed             int64 `json:"shed"`
+		ShedFull         int64 `json:"shed_full"`
+		ShedWait         int64 `json:"shed_wait"`
+		QueueDepth       int   `json:"queue_depth"`
+		PanicsRecovered  int64 `json:"panics_recovered"`
+	} `json:"lifecycle"`
+	Store struct {
+		Retries  int64 `json:"store_retries"`
+		Trips    int64 `json:"store_trips"`
+		Degraded bool  `json:"store_degraded"`
+	} `json:"store"`
 	PlaneBudgetBytes int64 `json:"plane_budget_bytes"`
 }
 
@@ -745,6 +874,18 @@ func (s *Server) MetricsSnapshot() Metrics {
 	m.Workers.Cap = s.budget.Cap()
 	m.Workers.InUse = s.budget.InUse()
 	m.Workers.PerExplore = s.cfg.ExploreWorkers
+	m.Lifecycle.Cancelled = s.cancelled.Load()
+	m.Lifecycle.DeadlineExceeded = s.deadlineExceeded.Load()
+	m.Lifecycle.ShedFull = s.queue.ShedFull()
+	m.Lifecycle.ShedWait = s.queue.ShedWait()
+	m.Lifecycle.Shed = m.Lifecycle.ShedFull + m.Lifecycle.ShedWait
+	m.Lifecycle.QueueDepth = s.queue.Depth()
+	m.Lifecycle.PanicsRecovered = s.panics.Load()
+	if s.guard != nil {
+		m.Store.Retries = s.guard.Retried()
+		m.Store.Trips = s.guard.Trips()
+		m.Store.Degraded = s.guard.Degraded()
+	}
 	return m
 }
 

@@ -269,41 +269,46 @@ func TestHealthz(t *testing.T) {
 }
 
 // TestRequestValidation pins the shared Table 2 validator and the
-// error statuses of the API surface: the same inputs that must not
-// panic the CLIs must come back as clean 4xx JSON errors here.
+// error taxonomy of the API surface: the same inputs that must not
+// panic the CLIs must come back as clean 4xx JSON errors here, each
+// carrying its machine-readable {"error":{"code":...}} body.
 func TestRequestValidation(t *testing.T) {
 	ts := newTestServer(t, Config{})
 	cases := []struct {
 		url  string
 		code int
+		tax  string
 	}{
-		{"/v1/predict", http.StatusBadRequest},                      // missing bench
-		{"/v1/predict?bench=nosuch", http.StatusNotFound},           // unknown workload
-		{"/v1/predict?bench=crc32&width=0", http.StatusBadRequest},  // below Table 2
-		{"/v1/predict?bench=crc32&width=7", http.StatusBadRequest},  // above Table 2
-		{"/v1/predict?bench=crc32&l2kb=100", http.StatusBadRequest}, // non-power-of-two L2
-		{"/v1/predict?bench=crc32&l2ways=5", http.StatusBadRequest}, // bad associativity
-		{"/v1/predict?bench=crc32&stages=6", http.StatusBadRequest}, // bad depth
-		{"/v1/predict?bench=crc32&pred=alwaystaken", http.StatusBadRequest},
-		{"/v1/predict?bench=crc32&width=abc", http.StatusBadRequest},        // non-integer
-		{"/v1/predict?bench=crc32&validate=yes", http.StatusBadRequest},     // non-boolean
-		{"/v1/predict?bench=crc32&predictor=hybrid", http.StatusBadRequest}, // misspelled param
-		{"/v1/explore?bench=crc32&l2_kb=256", http.StatusBadRequest},        // misspelled filter
-		{"/v1/explore?bench=crc32&l2kb=100", http.StatusBadRequest},         // bad filter
-		{"/v1/explore", http.StatusBadRequest},                              // missing bench
+		{"/v1/predict", http.StatusBadRequest, "bad_request"},                      // missing bench
+		{"/v1/predict?bench=nosuch", http.StatusNotFound, "not_found"},             // unknown workload
+		{"/v1/predict?bench=crc32&width=0", http.StatusBadRequest, "bad_request"},  // below Table 2
+		{"/v1/predict?bench=crc32&width=7", http.StatusBadRequest, "bad_request"},  // above Table 2
+		{"/v1/predict?bench=crc32&l2kb=100", http.StatusBadRequest, "bad_request"}, // non-power-of-two L2
+		{"/v1/predict?bench=crc32&l2ways=5", http.StatusBadRequest, "bad_request"}, // bad associativity
+		{"/v1/predict?bench=crc32&stages=6", http.StatusBadRequest, "bad_request"}, // bad depth
+		{"/v1/predict?bench=crc32&pred=alwaystaken", http.StatusBadRequest, "bad_request"},
+		{"/v1/predict?bench=crc32&width=abc", http.StatusBadRequest, "bad_request"},        // non-integer
+		{"/v1/predict?bench=crc32&validate=yes", http.StatusBadRequest, "bad_request"},     // non-boolean
+		{"/v1/predict?bench=crc32&predictor=hybrid", http.StatusBadRequest, "bad_request"}, // misspelled param
+		{"/v1/explore?bench=crc32&l2_kb=256", http.StatusBadRequest, "bad_request"},        // misspelled filter
+		{"/v1/explore?bench=crc32&l2kb=100", http.StatusBadRequest, "bad_request"},         // bad filter
+		{"/v1/explore", http.StatusBadRequest, "bad_request"},                              // missing bench
 	}
 	for _, c := range cases {
 		resp, err := http.Get(ts.URL + c.url)
 		if err != nil {
 			t.Fatal(err)
 		}
-		var body map[string]string
+		var body ErrorBody
 		_ = json.NewDecoder(resp.Body).Decode(&body)
 		resp.Body.Close()
 		if resp.StatusCode != c.code {
 			t.Errorf("%s: status %d, want %d", c.url, resp.StatusCode, c.code)
 		}
-		if body["error"] == "" {
+		if body.Error.Code != c.tax {
+			t.Errorf("%s: error code %q, want %q", c.url, body.Error.Code, c.tax)
+		}
+		if body.Error.Message == "" {
 			t.Errorf("%s: no JSON error message", c.url)
 		}
 	}

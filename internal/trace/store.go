@@ -1,6 +1,10 @@
 package trace
 
-import "repro/internal/isa"
+import (
+	"context"
+
+	"repro/internal/isa"
+)
 
 // Trace is the compact in-memory trace store: a chunked, columnar
 // (structure-of-arrays) encoding of the dynamic instruction stream.
@@ -171,6 +175,31 @@ func (t *Trace) Replay(sink Consumer) {
 		ck, ok := cur.Next()
 		if !ok {
 			return
+		}
+		for j := 0; j < ck.N; j++ {
+			ck.Decode(j, &d)
+			sink.Consume(&d)
+		}
+	}
+}
+
+// ReplayCtx is Replay under a context: cancellation is observed
+// between chunks (within one 16K-instruction chunk the hot loop runs
+// uninterrupted), returning ctx.Err() without visiting the remaining
+// chunks. A completed replay is indistinguishable from Replay's — the
+// check never alters what sink observes.
+func (t *Trace) ReplayCtx(ctx context.Context, sink Consumer) error {
+	done := ctx.Done()
+	var d DynInst
+	for cur := t.Cursor(); ; {
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
+		ck, ok := cur.Next()
+		if !ok {
+			return nil
 		}
 		for j := 0; j < ck.N; j++ {
 			ck.Decode(j, &d)

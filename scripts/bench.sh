@@ -18,7 +18,8 @@ n="${1:-1}"
 out="BENCH_${n}.json"
 prev="BENCH_$((n - 1)).json"
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+robust="$(mktemp)"
+trap 'rm -f "$raw" "$robust"' EXIT
 
 # With REPRO_ARTIFACT_DIR set, the experiment harness profiles through
 # the persistent artifact store; record whether this run started warm
@@ -40,6 +41,44 @@ fi
 # regressions (bytes/recorded-instruction, replay allocations) are part
 # of the baseline.
 go test -run '^$' -bench . -benchtime=1x -benchmem . | tee "$raw" >&2
+
+# Robustness probes: boot a tightly-bounded modeld, drive one request
+# into each lifecycle failure mode (deadline expiry, client disconnect,
+# shed load), and record the /metrics lifecycle/store counters in the
+# baseline. Best-effort: probes that don't land leave their counter at
+# 0, they never fail the benchmark run.
+echo "probing lifecycle counters (deadline/cancel/shed)..." >&2
+if go build -o "${TMPDIR:-/tmp}/bench-modeld" ./cmd/modeld; then
+  # -dyninsts scales profiling to seconds so there is a real window to
+  # cancel into; -workers 1 makes one request enough to exhaust the pot.
+  bport="${BENCH_MODELD_PORT:-18123}"
+  "${TMPDIR:-/tmp}/bench-modeld" -addr "127.0.0.1:$bport" \
+    -workers 1 -queue-wait 50ms -predict-timeout 5ms -dyninsts 50000000 >&2 &
+  mpid=$!
+  for _ in $(seq 1 50); do
+    curl -fsS "http://127.0.0.1:$bport/healthz" > /dev/null 2>&1 && break
+    sleep 0.2
+  done
+  # deadline_exceeded: a cold profiling run cannot finish in 5ms.
+  curl -s "http://127.0.0.1:$bport/v1/predict?bench=sha" > /dev/null || true
+  # cancelled: the client abandons a cold exploration mid-profile
+  # (explore has no deadline configured here, so the disconnect is
+  # what ends it).
+  curl -s -m 0.5 "http://127.0.0.1:$bport/v1/explore?bench=gsm_c" > /dev/null || true
+  # shed: one exploration's profiling run holds the single worker
+  # token; an exploration of a *different* benchmark (same-bench would
+  # just join the singleflight) must wait past -queue-wait and is shed
+  # with 429. The holder is abandoned after 1s so the probe stays fast.
+  curl -s -m 1 "http://127.0.0.1:$bport/v1/explore?bench=crc32&validate=true" > /dev/null &
+  cpid=$!
+  sleep 0.1
+  curl -s "http://127.0.0.1:$bport/v1/explore?bench=sha" > /dev/null || true
+  wait "$cpid" || true
+  curl -fsS "http://127.0.0.1:$bport/metrics" > "$robust" 2> /dev/null || true
+  kill "$mpid" 2> /dev/null || true
+  wait "$mpid" 2> /dev/null || true
+fi
+export BENCH_ROBUST_FILE="$robust"
 
 python3 - "$raw" "$out" "$prev" <<'EOF'
 import json, os, re, sys
@@ -72,6 +111,21 @@ doc["artifact_store"] = {
     "dir": art_dir or None,
     "warm": os.environ.get("BENCH_ART_WARM") == "1",
 }
+
+# Lifecycle counters from the robustness probes (cancelled requests,
+# deadline expiries, shed load, recovered panics, store guard state) —
+# absent or unreadable metrics record as null, never fail the run.
+doc["robustness"] = None
+robust_path = os.environ.get("BENCH_ROBUST_FILE", "")
+try:
+    with open(robust_path) as f:
+        m = json.load(f)
+    doc["robustness"] = {
+        "lifecycle": m.get("lifecycle"),
+        "store": m.get("store"),
+    }
+except (OSError, ValueError):
+    pass
 
 if os.path.exists(prev_path):
     prev = json.load(open(prev_path))["benchmarks"]
