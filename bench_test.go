@@ -322,3 +322,21 @@ func BenchmarkExploreValidatedFull(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkExploreBatch measures the cold config-parallel validated
+// sweep: every iteration starts from an empty annotation/timing cache
+// (trace and profile shared), so the number is the true end-to-end
+// cost of annotating and batch-replaying all 192 design points —
+// unlike BenchmarkExploreValidatedFull, whose iterations after the
+// first serve timing from the memo.
+func BenchmarkExploreBatch(b *testing.B) {
+	pw := profiledFor(b, "gsm_c")
+	space := dse.Space(uarch.Default())
+	pm := power.NewModel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dse.ExploreValidated(pw.Fresh(), space, pm, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -46,9 +46,15 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 		artDir   = flag.String("artifact-dir", "", "persistent artifact store directory: profiling and annotation results are reused across runs, bit-identically (empty = disabled)")
+		replay   = flag.String("replay", "batch", "detailed-replay kernel: batch (config-parallel, whole space per chunk pass) or scalar (one replay per design point, for bisection)")
 	)
 	flag.Parse()
 	par.SetDefault(*workers)
+	rm, err := harness.ParseReplayMode(*replay)
+	if err != nil {
+		log.Fatal(err)
+	}
+	harness.SetDefaultReplay(rm)
 	stopProf, err := proftool.Start(*cpuProf, *memProf)
 	if err != nil {
 		log.Fatal(err)

@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/par"
+	"repro/internal/pipeline"
 	"repro/internal/proftool"
 	"repro/internal/uarch"
 	"repro/internal/workloads"
@@ -50,9 +51,15 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 		artDir   = flag.String("artifact-dir", "", "persistent artifact store directory: profiling results are reused across runs, bit-identically (empty = disabled)")
+		replay   = flag.String("replay", "batch", "detailed-replay kernel for -validate: batch (config-parallel) or scalar (per-point, for bisection)")
 	)
 	flag.Parse()
 	par.SetDefault(*workers)
+	rm, err := harness.ParseReplayMode(*replay)
+	if err != nil {
+		log.Fatal(err)
+	}
+	harness.SetDefaultReplay(rm)
 	var store *artifact.Store
 	if *artDir != "" {
 		var err error
@@ -180,7 +187,18 @@ func report(w io.Writer, spec workloads.Spec, cfg uarch.Config, validate bool, d
 	}
 
 	if validate {
-		sim, err := pw.SimulateDetailed(cfg)
+		// -replay selects the kernel: the batch path (default) exercises
+		// the config-parallel kernel even for one point, scalar the
+		// per-point kernel — both bit-identical, so either validates.
+		var sim pipeline.Result
+		if harness.DefaultReplay() == harness.ReplayScalar {
+			sim, err = pw.SimulateDetailed(cfg)
+		} else {
+			var sims []pipeline.Result
+			if sims, err = pw.SimulateDetailedBatch([]uarch.Config{cfg}, 0); err == nil {
+				sim = sims[0]
+			}
+		}
 		if err != nil {
 			return err
 		}

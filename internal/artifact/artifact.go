@@ -18,14 +18,20 @@
 //	kind (u8)                   — workload / mem-plane / branch-plane
 //	identity (u32 len + bytes)  — canonical string, key preimage
 //	section count (u32)
-//	per section: name (u32 len + bytes), payload (u64 len + bytes)
+//	per section: name (u32 len + bytes), payload (u64 len + bytes),
+//	             payload CRC-32C (u32)
 //	SHA-256 (32 bytes)          — over every preceding byte
 //
 // Section payloads reuse the trace codecs (per-chunk CRC-32C inside)
 // and fixed-order int64 encodings for profiles and cache statistics.
-// Writes go to a temp file in the store directory followed by an
-// atomic rename, so concurrent writers of one key are safe: both
-// produce identical bytes (determinism) and the last rename wins.
+// The per-section CRC (new in format version 2) is what lets the
+// memory-mapped load path (see mapped.go) skip the whole-file SHA-256
+// pass while still rejecting any payload corruption: chunked sections
+// carry CRCs inside their codec, scalar sections are covered by the
+// section CRC. Writes go to a temp file in the store directory
+// followed by an atomic rename, so concurrent writers of one key are
+// safe: both produce identical bytes (determinism) and the last
+// rename wins.
 package artifact
 
 import (
@@ -35,6 +41,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -50,12 +57,18 @@ import (
 // FormatVersion is the on-disk format version. Bumping it changes
 // every artifact identity (the version is part of the key preimage),
 // so readers of the new version never even look at old files.
-const FormatVersion = 1
+// Version 2 added the per-section CRC-32C that the mapped load path
+// verifies in place of the whole-file digest.
+const FormatVersion = 2
 
 // Ext is the artifact file extension.
 const Ext = ".rpaf"
 
 var magic = [4]byte{'R', 'P', 'A', 'F'}
+
+// castagnoli is the CRC-32C polynomial table for section checksums,
+// matching the trace codecs' per-chunk CRCs.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Kind discriminates artifact payload types.
 type Kind uint8
@@ -219,24 +232,40 @@ func encode(kind Kind, identity string, sections []section) []byte {
 		le.PutUint64(u64[:], uint64(len(sec.payload)))
 		buf.Write(u64[:])
 		buf.Write(sec.payload)
+		le.PutUint32(u32[:], crc32.Checksum(sec.payload, castagnoli))
+		buf.Write(u32[:])
 	}
 	sum := sha256.Sum256(buf.Bytes())
 	buf.Write(sum[:])
 	return buf.Bytes()
 }
 
-// decode parses and verifies a file image: magic, version, kind,
-// identity and the whole-file digest must all match before any
-// section payload is handed to a codec.
-func decode(data []byte, wantKind Kind, wantIdentity string) (map[string][]byte, error) {
-	if len(data) < len(magic)+4+1+4+4+sha256.Size {
-		return nil, fmt.Errorf("%w: %d bytes is shorter than the minimal header", ErrInvalid, len(data))
+// secView is one parsed section: its payload plus the CRC-32C the
+// writer recorded for it. Verification is split from parsing so the
+// two load paths can check what their codecs do not already cover.
+type secView struct {
+	payload []byte
+	crc     uint32
+}
+
+// verify checks the payload against the recorded section CRC.
+func (sv secView) verify(name string) error {
+	if got := crc32.Checksum(sv.payload, castagnoli); got != sv.crc {
+		return fmt.Errorf("%w: section %q checksum mismatch (got %08x, want %08x)", ErrInvalid, name, got, sv.crc)
 	}
-	body, tail := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
-	if sum := sha256.Sum256(body); !bytes.Equal(sum[:], tail) {
-		return nil, fmt.Errorf("%w: SHA-256 digest mismatch (truncated or corrupted)", ErrInvalid)
-	}
+	return nil
+}
+
+// parseFrame parses an artifact image's framing — magic, version,
+// kind, identity, section table — without verifying any digest. Both
+// load paths build on it: decode adds the whole-file SHA-256 plus
+// every section CRC, the mapped path adds section CRCs only where a
+// section's codec has no internal checksums.
+func parseFrame(body []byte, wantKind Kind, wantIdentity string) (map[string]secView, error) {
 	le := binary.LittleEndian
+	if len(body) < len(magic)+4+1+4+4 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the minimal header", ErrInvalid, len(body))
+	}
 	if !bytes.Equal(body[:4], magic[:]) {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrInvalid, body[:4])
 	}
@@ -262,7 +291,7 @@ func decode(data []byte, wantKind Kind, wantIdentity string) (map[string][]byte,
 	}
 	nsec := int(le.Uint32(body[off:]))
 	off += 4
-	out := make(map[string][]byte, nsec)
+	out := make(map[string]secView, nsec)
 	for i := 0; i < nsec; i++ {
 		if off+4 > len(body) {
 			return nil, fmt.Errorf("%w: truncated section %d header", ErrInvalid, i)
@@ -276,14 +305,41 @@ func decode(data []byte, wantKind Kind, wantIdentity string) (map[string][]byte,
 		off += nameLen
 		payLen := le.Uint64(body[off:])
 		off += 8
-		if payLen > uint64(len(body)-off) {
+		if payLen > uint64(len(body)-off) || uint64(len(body)-off)-payLen < 4 {
 			return nil, fmt.Errorf("%w: section %q payload overruns file", ErrInvalid, name)
 		}
-		out[name] = body[off : off+int(payLen)]
+		payload := body[off : off+int(payLen)]
 		off += int(payLen)
+		out[name] = secView{payload: payload, crc: le.Uint32(body[off:])}
+		off += 4
 	}
 	if off != len(body) {
 		return nil, fmt.Errorf("%w: %d trailing bytes after sections", ErrInvalid, len(body)-off)
+	}
+	return out, nil
+}
+
+// decode parses and verifies a file image: magic, version, kind,
+// identity, the whole-file digest and every section CRC must all
+// match before any section payload is handed to a codec.
+func decode(data []byte, wantKind Kind, wantIdentity string) (map[string][]byte, error) {
+	if len(data) < len(magic)+4+1+4+4+sha256.Size {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the minimal header", ErrInvalid, len(data))
+	}
+	body, tail := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
+	if sum := sha256.Sum256(body); !bytes.Equal(sum[:], tail) {
+		return nil, fmt.Errorf("%w: SHA-256 digest mismatch (truncated or corrupted)", ErrInvalid)
+	}
+	secs, err := parseFrame(body, wantKind, wantIdentity)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte, len(secs))
+	for name, sv := range secs {
+		if err := sv.verify(name); err != nil {
+			return nil, err
+		}
+		out[name] = sv.payload
 	}
 	return out, nil
 }
@@ -366,7 +422,16 @@ func (s *Store) SaveWorkload(id WorkloadID, tr *trace.Trace, prof *profile.Profi
 // LoadWorkload rehydrates a profiled workload. A missing artifact
 // returns ErrNotFound; an unusable one returns an error wrapping
 // ErrInvalid — in both cases the caller profiles fresh.
+//
+// The load is mapped-first: on platforms with mmap the trace's hot
+// columns alias a read-only file mapping (see mapped.go) instead of
+// being decoded and copied. Any mapped-path failure falls through to
+// the portable decode path below, which determines the error the
+// caller sees.
 func (s *Store) LoadWorkload(id WorkloadID) (*trace.Trace, *profile.Profile, error) {
+	if tr, prof, err := s.loadWorkloadMapped(id); err == nil {
+		return tr, prof, nil
+	}
 	secs, err := s.read(KindWorkload, id.Identity())
 	if err != nil {
 		return nil, nil, err
@@ -419,8 +484,12 @@ func (s *Store) SaveMemPlane(workloadKey string, h cache.HierarchyConfig, classe
 	return s.write(KeyOf(identity), data)
 }
 
-// LoadMemPlane rehydrates one hierarchy's plane and statistics.
+// LoadMemPlane rehydrates one hierarchy's plane and statistics,
+// mapped-first like LoadWorkload.
 func (s *Store) LoadMemPlane(workloadKey string, h cache.HierarchyConfig) (*trace.BytePlane, cache.Stats, error) {
+	if plane, st, err := s.loadMemPlaneMapped(workloadKey, h); err == nil {
+		return plane, st, nil
+	}
 	secs, err := s.read(KindMemPlane, memPlaneIdentity(workloadKey, h))
 	if err != nil {
 		return nil, cache.Stats{}, err
@@ -460,8 +529,12 @@ func (s *Store) SaveBranchPlane(workloadKey, predictor string, p *trace.BitPlane
 	return s.write(KeyOf(identity), data)
 }
 
-// LoadBranchPlane rehydrates one predictor's mispredict plane.
+// LoadBranchPlane rehydrates one predictor's mispredict plane,
+// mapped-first like LoadWorkload.
 func (s *Store) LoadBranchPlane(workloadKey, predictor string) (*trace.BitPlane, error) {
+	if p, err := s.loadBranchPlaneMapped(workloadKey, predictor); err == nil {
+		return p, nil
+	}
 	secs, err := s.read(KindBranchPlane, branchPlaneIdentity(workloadKey, predictor))
 	if err != nil {
 		return nil, err

@@ -1,0 +1,179 @@
+package artifact_test
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/cache"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+)
+
+// mmapPlatform reports whether this build serves loads through the
+// mapped path (the !unix fallback decodes everywhere).
+func mmapPlatform() bool {
+	switch runtime.GOOS {
+	case "linux", "darwin", "freebsd", "netbsd", "openbsd", "dragonfly":
+		return true
+	}
+	return false
+}
+
+// TestLoadWorkloadUsesMappedPath pins that a healthy artifact is
+// served zero-copy: the load increments the mapped counter and the
+// returned trace aliases a file mapping, while remaining bit-identical
+// to what was saved.
+func TestLoadWorkloadUsesMappedPath(t *testing.T) {
+	if !mmapPlatform() {
+		t.Skip("mmap unsupported on this platform")
+	}
+	pw := profiledSha(t)
+	s := openStore(t)
+	id := artifact.WorkloadID{Name: "sha"}
+	if _, err := s.SaveWorkload(id, pw.Trace, pw.Prof); err != nil {
+		t.Fatal(err)
+	}
+	before := artifact.MappedLoadCount()
+	tr, prof, err := s.LoadWorkload(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if artifact.MappedLoadCount() != before+1 {
+		t.Fatal("LoadWorkload did not take the mapped path on a healthy artifact")
+	}
+	if !tr.Mapped() {
+		t.Fatal("loaded trace does not report a backing mapping")
+	}
+	if tr.Len() != pw.Trace.Len() || *prof != *pw.Prof {
+		t.Fatal("mapped load differs from the saved workload")
+	}
+	for i := int64(0); i < tr.Len(); i += 509 {
+		if tr.At(i) != pw.Trace.At(i) {
+			t.Fatalf("instruction %d differs on the mapped path", i)
+		}
+	}
+}
+
+// TestLoadPlanesUseMappedPath pins the plane loads: the mem plane is
+// aliased from the mapping, the branch plane decodes but still skips
+// the whole-file digest, and both round-trip exactly.
+func TestLoadPlanesUseMappedPath(t *testing.T) {
+	if !mmapPlatform() {
+		t.Skip("mmap unsupported on this platform")
+	}
+	s := openStore(t)
+	hier := uarch.Default().Hier
+	bb := trace.NewBytePlaneBuilder()
+	for i := 0; i < trace.ChunkLen+333; i++ {
+		bb.Append(uint8(i % 11))
+	}
+	st := cache.Stats{IL1Accesses: 7, DL1Misses: 3}
+	if err := s.SaveMemPlane("wkey", hier, bb.Plane(), st); err != nil {
+		t.Fatal(err)
+	}
+	before := artifact.MappedLoadCount()
+	plane, got, err := s.LoadMemPlane("wkey", hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if artifact.MappedLoadCount() != before+1 {
+		t.Fatal("LoadMemPlane did not take the mapped path")
+	}
+	if !plane.Mapped() || !plane.Equal(bb.Plane()) || got != st {
+		t.Fatal("mapped mem plane differs from the saved one")
+	}
+
+	pb := trace.NewBitPlaneBuilder()
+	for i := 0; i < trace.ChunkLen+17; i++ {
+		pb.Append(i%3 == 0)
+	}
+	if err := s.SaveBranchPlane("wkey", "gshare", pb.Plane()); err != nil {
+		t.Fatal(err)
+	}
+	before = artifact.MappedLoadCount()
+	bp, err := s.LoadBranchPlane("wkey", "gshare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if artifact.MappedLoadCount() != before+1 {
+		t.Fatal("LoadBranchPlane did not take the mapped path")
+	}
+	if !bp.Equal(pb.Plane()) {
+		t.Fatal("branch plane differs after mapped load")
+	}
+}
+
+// TestMappedLoadRejectsCorruption drives the PR 5 corruption shapes
+// through the mapped reader: every one must surface as ErrInvalid
+// (after falling back to the decode path), never as a served artifact
+// and never through the mapped counter — so callers fall back to
+// fresh profiling exactly as they did on the decode path.
+func TestMappedLoadRejectsCorruption(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"truncated", func(d []byte) []byte { return d[:len(d)/3] }},
+		// Resigned so the whole-file digest passes: only the trace
+		// codec's per-chunk CRC — which both paths verify — catches it.
+		{"chunk-crc", func(d []byte) []byte {
+			d[len(d)/2] ^= 0xFF
+			return resign(d)
+		}},
+		// A flip in the profile payload (a scalar section with no
+		// internal checksums), resigned: the per-section CRC is the
+		// only guard on the mapped path.
+		{"profile-crc", func(d []byte) []byte {
+			d[len(d)-40] ^= 0x01
+			return resign(d)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, id := corruptSavedWorkload(t, tc.mutate)
+			before := artifact.MappedLoadCount()
+			if _, _, err := s.LoadWorkload(id); !errors.Is(err, artifact.ErrInvalid) {
+				t.Fatalf("corrupt artifact: err = %v, want ErrInvalid", err)
+			}
+			if artifact.MappedLoadCount() != before {
+				t.Fatal("corrupt artifact was served through the mapped path")
+			}
+		})
+	}
+}
+
+// TestMappedLoadSurvivesRewrite pins the concurrent-rewrite contract:
+// re-saving a key replaces the directory entry atomically, and a
+// trace mapped from the old file keeps reading the old inode's pages
+// unchanged while new loads see the new file.
+func TestMappedLoadSurvivesRewrite(t *testing.T) {
+	if !mmapPlatform() {
+		t.Skip("mmap unsupported on this platform")
+	}
+	pw := profiledSha(t)
+	s := openStore(t)
+	id := artifact.WorkloadID{Name: "sha"}
+	if _, err := s.SaveWorkload(id, pw.Trace, pw.Prof); err != nil {
+		t.Fatal(err)
+	}
+	tr, _, err := s.LoadWorkload(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.At(tr.Len() / 2)
+	if _, err := s.SaveWorkload(id, pw.Trace, pw.Prof); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.At(tr.Len() / 2); got != want {
+		t.Fatalf("mapped trace changed under a concurrent rewrite: %+v -> %+v", want, got)
+	}
+	tr2, _, err := s.LoadWorkload(id)
+	if err != nil {
+		t.Fatalf("load after rewrite: %v", err)
+	}
+	if tr2.Len() != tr.Len() {
+		t.Fatal("reloaded trace differs after rewrite")
+	}
+}

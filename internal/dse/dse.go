@@ -113,19 +113,73 @@ func explore(memo *harness.InputsSet, cfgs []uarch.Config, pm power.Model) ([]Po
 // configuration, in parallel across workers (≤0 means the process
 // default, see par.SetDefault). The trace is annotated once per
 // distinct hierarchy and once per distinct predictor of the space
-// (itself in parallel); the 192 detailed runs are then timing-only
-// replays over the shared planes, bit-identical to pipeline.Simulate.
+// (itself in parallel); the detailed runs are then timing-only replays
+// over the shared planes, bit-identical to pipeline.Simulate. The
+// replay kernel is chosen by harness.DefaultReplay(): the
+// config-parallel batch kernel sweeps the whole space in one pass per
+// trace chunk (with the model inputs fused into the annotation
+// traversals — a cold 192-point sweep touches the trace once per
+// distinct component and once for timing); -replay=scalar on the CLIs
+// selects the per-point kernel instead.
 func ExploreValidated(pw *harness.Profiled, cfgs []uarch.Config, pm power.Model, workers int) ([]Point, error) {
 	return ExploreValidatedCtx(context.Background(), pw, cfgs, pm, workers)
 }
 
 // ExploreValidatedCtx is ExploreValidated under a request context.
 // Cancellation cuts every stage — the statistics pass, the annotation
-// fan-out, and the per-point detailed replays — at chunk/cycle-batch
-// boundaries: no new design point starts and running replays abort,
-// returning ctx.Err(). Completed points are discarded, never returned
-// partially.
+// fan-out, and the detailed replays — at chunk/cycle-batch boundaries:
+// no new design point starts and running replays abort, returning
+// ctx.Err(). Completed points are discarded, never returned partially.
 func ExploreValidatedCtx(ctx context.Context, pw *harness.Profiled, cfgs []uarch.Config, pm power.Model, workers int) ([]Point, error) {
+	if harness.DefaultReplay() == harness.ReplayScalar {
+		return exploreValidatedScalar(ctx, pw, cfgs, pm, workers)
+	}
+	return exploreValidatedBatch(ctx, pw, cfgs, pm, workers)
+}
+
+// exploreValidatedBatch is the config-parallel path: one fused
+// annotation+inputs pass over the trace, then every memo-missing
+// design point replays together in a single pass per trace chunk.
+func exploreValidatedBatch(ctx context.Context, pw *harness.Profiled, cfgs []uarch.Config, pm power.Model, workers int) ([]Point, error) {
+	memo, err := pw.ExploreInputsCtx(ctx, cfgs, workers)
+	if err != nil {
+		return nil, err
+	}
+	pts, err := explore(memo, cfgs, pm)
+	if err != nil {
+		return nil, err
+	}
+	sims, err := pw.SimulateDetailedBatchCtx(ctx, cfgs, workers)
+	if err != nil {
+		return nil, err
+	}
+	for i := range pts {
+		p := &pts[i]
+		sim := sims[i]
+		in, err := memo.Inputs(p.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		ev := power.EventsFrom(in.Prof, in.Mem, in.Branch)
+		edp, err := pm.EDP(ev, p.Cfg, float64(sim.Cycles))
+		if err != nil {
+			return nil, err
+		}
+		p.Sim = &sim
+		p.SimCPI = sim.CPI()
+		p.SimSecs = p.Cfg.Seconds(float64(sim.Cycles))
+		p.SimEDP = edp
+		if p.SimCPI > 0 {
+			p.CPIErr = abs(p.ModelCPI-p.SimCPI) / p.SimCPI
+		}
+	}
+	return pts, nil
+}
+
+// exploreValidatedScalar is the pre-batch path, kept verbatim for
+// -replay=scalar bisection: one statistics replay, then one timing
+// replay per memo-missing design point fanned out across workers.
+func exploreValidatedScalar(ctx context.Context, pw *harness.Profiled, cfgs []uarch.Config, pm power.Model, workers int) ([]Point, error) {
 	memo, err := pw.MultiInputsCtx(ctx, cfgs)
 	if err != nil {
 		return nil, err

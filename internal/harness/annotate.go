@@ -79,7 +79,12 @@ func groupByFront(hiers []cache.HierarchyConfig) ([]hierFront, map[hierFront][]c
 // each instruction's L2 outcome for all candidate geometries at once.
 // Cancellation is observed at trace chunk boundaries; an aborted
 // traversal returns ctx.Err() and publishes nothing.
-func annotateFront(ctx context.Context, tr *trace.Trace, f hierFront, group []cache.HierarchyConfig) (map[cache.HierarchyConfig]*MemPlane, error) {
+//
+// The second return value carries each hierarchy's raw end-of-run
+// statistics (before the I-stall fold below) — bit-identical to what
+// CollectMultiStats' plain engine reports, so a caller that needs both
+// planes and model inputs pays one traversal (see ExploreInputs).
+func annotateFront(ctx context.Context, tr *trace.Trace, f hierFront, group []cache.HierarchyConfig) (map[cache.HierarchyConfig]*MemPlane, map[cache.HierarchyConfig]cache.Stats, error) {
 	base := cache.HierarchyConfig{
 		IL1: f.il1, DL1: f.dl1,
 		ITLBEntries: f.itlbEntries, DTLBEntries: f.dtlbEntries,
@@ -91,13 +96,13 @@ func annotateFront(ctx context.Context, tr *trace.Trace, f hierFront, group []ca
 	}
 	eng, err := cache.NewL2SpaceSim(base, l2s)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := eng.RecordPlanes(l2s); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := tr.ReplayCtx(ctx, eng); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Canonicalize: two geometries whose planes came out identical
 	// (common — the trace's L2 misses are often all cold) share one
@@ -105,11 +110,12 @@ func annotateFront(ctx context.Context, tr *trace.Trace, f hierFront, group []ca
 	// identity. Stats stay per-hierarchy (writeback counts differ
 	// even when the per-instruction event classes coincide).
 	out := make(map[cache.HierarchyConfig]*MemPlane, len(group))
+	raw := make(map[cache.HierarchyConfig]cache.Stats, len(group))
 	var canon []*trace.BytePlane
 	for _, h := range group {
 		plane, err := eng.PlaneFor(h.L2)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if q := canonicalize(canon, plane); q != plane {
 			plane = q
@@ -118,8 +124,9 @@ func annotateFront(ctx context.Context, tr *trace.Trace, f hierFront, group []ca
 		}
 		stats, err := eng.StatsFor(h.L2)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		raw[h] = stats
 		// The detailed simulator re-accesses the hierarchy once per
 		// I-side stall when fetch resumes (a guaranteed hit that
 		// bumps only IL1Accesses); fold that in so MemPlane.Stats
@@ -128,7 +135,7 @@ func annotateFront(ctx context.Context, tr *trace.Trace, f hierFront, group []ca
 		out[h] = &MemPlane{Classes: plane, Stats: stats}
 	}
 	cacheAnnotates.Add(int64(len(group)))
-	return out, nil
+	return out, raw, nil
 }
 
 // safeAnnotateFront is annotateFront with panics converted to errors:
@@ -136,30 +143,31 @@ func annotateFront(ctx context.Context, tr *trace.Trace, f hierFront, group []ca
 // done channel unclosed and wedge every future request for the
 // component (net/http recovers handler panics, so a long-running
 // service would otherwise keep the dead claim forever).
-func safeAnnotateFront(ctx context.Context, tr *trace.Trace, f hierFront, group []cache.HierarchyConfig) (out map[cache.HierarchyConfig]*MemPlane, err error) {
+func safeAnnotateFront(ctx context.Context, tr *trace.Trace, f hierFront, group []cache.HierarchyConfig) (out map[cache.HierarchyConfig]*MemPlane, raw map[cache.HierarchyConfig]cache.Stats, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			out, err = nil, fmt.Errorf("harness: cache annotation panicked: %v", r)
+			out, raw, err = nil, nil, fmt.Errorf("harness: cache annotation panicked: %v", r)
 		}
 	}()
 	return annotateFront(ctx, tr, f, group)
 }
 
 // safeAnnotateBranch annotates one predictor with the same panic
-// protection (see safeAnnotateFront). The annotation counter is bumped
-// only on completion: a cancelled traversal annotated nothing.
-func safeAnnotateBranch(ctx context.Context, tr *trace.Trace, pk uarch.PredictorKind) (p *trace.BitPlane, err error) {
+// protection (see safeAnnotateFront), returning the fused end-of-run
+// predictor statistics alongside the plane. The annotation counter is
+// bumped only on completion: a cancelled traversal annotated nothing.
+func safeAnnotateBranch(ctx context.Context, tr *trace.Trace, pk uarch.PredictorKind) (p *trace.BitPlane, bs branch.Stats, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			p, err = nil, fmt.Errorf("harness: branch annotation for %v panicked: %v", pk, r)
+			p, bs, err = nil, branch.Stats{}, fmt.Errorf("harness: branch annotation for %v panicked: %v", pk, r)
 		}
 	}()
-	p, err = branch.AnnotateMispredictsCtx(ctx, tr, pk.New())
+	p, bs, err = branch.AnnotateMispredictsStatsCtx(ctx, tr, pk.New())
 	if err != nil {
-		return nil, err
+		return nil, branch.Stats{}, err
 	}
 	branchAnnotates.Add(1)
-	return p, nil
+	return p, bs, nil
 }
 
 // safeSimulateAnnotated runs the timing replay with the same panic
@@ -182,7 +190,7 @@ func AnnotateCaches(tr *trace.Trace, hiers []cache.HierarchyConfig, workers int)
 	out := make(map[cache.HierarchyConfig]*MemPlane)
 	var mu sync.Mutex
 	err := par.ForEach(workers, len(fronts), func(i int) error {
-		part, err := annotateFront(context.Background(), tr, fronts[i], byFront[fronts[i]])
+		part, _, err := annotateFront(context.Background(), tr, fronts[i], byFront[fronts[i]])
 		if err != nil {
 			return err
 		}
@@ -483,7 +491,7 @@ func (pw *Profiled) EnsureAnnotated(cfgs []uarch.Config, workers int) error {
 // bounds the retries.
 func (pw *Profiled) EnsureAnnotatedCtx(ctx context.Context, cfgs []uarch.Config, workers int) error {
 	for {
-		err := pw.ensureAnnotated(ctx, cfgs, workers)
+		err := pw.ensureAnnotated(ctx, cfgs, workers, nil)
 		if err != nil && isCancellation(err) && ctx.Err() == nil {
 			continue
 		}
@@ -491,7 +499,12 @@ func (pw *Profiled) EnsureAnnotatedCtx(ctx context.Context, cfgs []uarch.Config,
 	}
 }
 
-func (pw *Profiled) ensureAnnotated(ctx context.Context, cfgs []uarch.Config, workers int) error {
+// ensureAnnotated is one claim/compute/publish attempt over the
+// distinct components of cfgs. When fused is non-nil, every component
+// this call computes fresh also deposits its raw machine statistics
+// there — the fused statistics side-channel behind ExploreInputs;
+// cache-hit and disk-loaded components deposit nothing.
+func (pw *Profiled) ensureAnnotated(ctx context.Context, cfgs []uarch.Config, workers int, fused *fusedStats) error {
 	st := &pw.annot
 	st.mu.Lock()
 	if st.mem == nil {
@@ -578,8 +591,10 @@ func (pw *Profiled) ensureAnnotated(ctx context.Context, cfgs []uarch.Config, wo
 		fronts, byFront := groupByFront(computeH)
 		nf := len(fronts)
 		frontRes := make([]map[cache.HierarchyConfig]*MemPlane, nf)
+		frontRaw := make([]map[cache.HierarchyConfig]cache.Stats, nf)
 		frontErr := make([]error, nf)
 		brRes := make([]*trace.BitPlane, len(computeP))
+		brSt := make([]branch.Stats, len(computeP))
 		brErr := make([]error, len(computeP))
 		// One pool for cache fronts and predictors together: the
 		// traversals are independent, so none serializes behind the
@@ -591,9 +606,9 @@ func (pw *Profiled) ensureAnnotated(ctx context.Context, cfgs []uarch.Config, wo
 		// with the cancellation error below so their claims resolve.
 		cutErr := par.ForEachCtx(ctx, workers, nf+len(computeP), func(i int) error {
 			if i < nf {
-				frontRes[i], frontErr[i] = safeAnnotateFront(ctx, pw.Trace, fronts[i], byFront[fronts[i]])
+				frontRes[i], frontRaw[i], frontErr[i] = safeAnnotateFront(ctx, pw.Trace, fronts[i], byFront[fronts[i]])
 			} else {
-				brRes[i-nf], brErr[i-nf] = safeAnnotateBranch(ctx, pw.Trace, computeP[i-nf])
+				brRes[i-nf], brSt[i-nf], brErr[i-nf] = safeAnnotateBranch(ctx, pw.Trace, computeP[i-nf])
 			}
 			return nil
 		})
@@ -614,6 +629,9 @@ func (pw *Profiled) ensureAnnotated(ctx context.Context, cfgs []uarch.Config, wo
 					continue
 				}
 				mp := frontRes[i][h]
+				if fused != nil {
+					fused.mem[h] = frontRaw[i][h]
+				}
 				// Write-through before canonicalization swaps pointers
 				// (contents are equal either way). Save errors are
 				// ignored: the disk tier can only skip work.
@@ -627,6 +645,9 @@ func (pw *Profiled) ensureAnnotated(ctx context.Context, cfgs []uarch.Config, wo
 			if brErr[i] != nil {
 				brErrs[pk] = brErr[i]
 				continue
+			}
+			if fused != nil {
+				fused.br[pk] = brSt[i]
 			}
 			if pw.store != nil {
 				_ = pw.store.SaveBranchPlane(pw.storeKey, uarch.PredictorName(pk), brRes[i])
@@ -792,7 +813,7 @@ func (pw *Profiled) annotation(ctx context.Context, cfg uarch.Config) (pipeline.
 			}
 		}
 		if bp == nil {
-			bp, brErr = safeAnnotateBranch(ctx, pw.Trace, cfg.Predictor)
+			bp, _, brErr = safeAnnotateBranch(ctx, pw.Trace, cfg.Predictor)
 			if brErr == nil && pw.store != nil {
 				_ = pw.store.SaveBranchPlane(pw.storeKey, uarch.PredictorName(cfg.Predictor), bp)
 			}
@@ -824,7 +845,7 @@ func (pw *Profiled) annotation(ctx context.Context, cfg uarch.Config) (pipeline.
 		}
 		if mp == nil {
 			var part map[cache.HierarchyConfig]*MemPlane
-			part, memErr = safeAnnotateFront(ctx, pw.Trace, frontOf(cfg.Hier), []cache.HierarchyConfig{cfg.Hier})
+			part, _, memErr = safeAnnotateFront(ctx, pw.Trace, frontOf(cfg.Hier), []cache.HierarchyConfig{cfg.Hier})
 			if memErr == nil {
 				mp = part[cfg.Hier]
 				if pw.store != nil {

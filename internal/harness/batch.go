@@ -1,0 +1,190 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/par"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+)
+
+// safeSimulateAnnotatedBatch runs the config-parallel replay kernel
+// with panics converted to errors (see safeAnnotateFront): a panic
+// unwinding past claimed timing entries would wedge their waiters.
+func safeSimulateAnnotatedBatch(ctx context.Context, tr *trace.Trace, pts []pipeline.BatchPoint) (res []pipeline.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("harness: batch detailed simulation of %d points panicked: %v", len(pts), r)
+		}
+	}()
+	return pipeline.SimulateAnnotatedBatchCtx(ctx, tr, pts)
+}
+
+// SimulateDetailedBatch runs the detailed cycle-accurate simulation of
+// every design point in cfgs through the config-parallel batch kernel:
+// the trace is annotated once per distinct component, the points are
+// deduplicated through the same timing memo as SimulateDetailed, and
+// all memo-missing points replay together in one pass over each trace
+// chunk (pipeline.SimulateAnnotatedBatch), sharded across workers.
+// Results are indexed like cfgs and each is bit-identical to
+// pipeline.Simulate's — and to SimulateDetailed's, whose memo entries
+// this path shares: a point simulated by either path is a memo hit for
+// the other.
+func (pw *Profiled) SimulateDetailedBatch(cfgs []uarch.Config, workers int) ([]pipeline.Result, error) {
+	return pw.SimulateDetailedBatchCtx(context.Background(), cfgs, workers)
+}
+
+// SimulateDetailedBatchCtx is SimulateDetailedBatch under a request
+// context, with the same claimant/waiter contract as
+// SimulateDetailedCtx: own replays abort at chunk boundaries once ctx
+// ends, waits on other requests' in-flight entries abandon promptly,
+// and another request's cancellation is recomputed rather than
+// reported. A cancelled batch resolves and removes every timing entry
+// it claimed — no partial memo entries survive.
+func (pw *Profiled) SimulateDetailedBatchCtx(ctx context.Context, cfgs []uarch.Config, workers int) ([]pipeline.Result, error) {
+	for {
+		res, err := pw.simulateDetailedBatch(ctx, cfgs, workers)
+		if err != nil && isCancellation(err) && ctx.Err() == nil {
+			continue
+		}
+		return res, err
+	}
+}
+
+func (pw *Profiled) simulateDetailedBatch(ctx context.Context, cfgs []uarch.Config, workers int) ([]pipeline.Result, error) {
+	if len(cfgs) == 0 {
+		return nil, nil
+	}
+	if err := pw.ensureAnnotated(ctx, cfgs, workers, nil); err != nil {
+		return nil, err
+	}
+	anns := make([]pipeline.Annotation, len(cfgs))
+	for i, cfg := range cfgs {
+		ann, err := pw.annotation(ctx, cfg) // cache hit after ensureAnnotated
+		if err != nil {
+			return nil, err
+		}
+		anns[i] = ann
+	}
+
+	// Partition the points over the timing memo: the first point of
+	// each memo-missing key claims it (singleflight — concurrent
+	// requests for the same key wait below), repeat keys within this
+	// call ride the claim, and present keys are waited on.
+	st := &pw.annot
+	st.mu.Lock()
+	if st.timing == nil {
+		st.timing = make(map[timingKey]*annotEntry[pipeline.Result])
+	}
+	keys := make([]timingKey, len(cfgs))
+	own := make(map[timingKey]*annotEntry[pipeline.Result])
+	waits := make(map[timingKey]*annotEntry[pipeline.Result])
+	var claimKeys []timingKey
+	var claimRep []int // index of the claiming (representative) config
+	for i, cfg := range cfgs {
+		k := timingKeyOf(cfg, anns[i].Mem, anns[i].Br)
+		keys[i] = k
+		if _, mine := own[k]; mine {
+			continue
+		}
+		if e, ok := st.timing[k]; ok {
+			st.touchLocked(&e.lastUse)
+			waits[k] = e
+			continue
+		}
+		e := &annotEntry[pipeline.Result]{done: make(chan struct{})}
+		st.timing[k] = e
+		own[k] = e
+		claimKeys = append(claimKeys, k)
+		claimRep = append(claimRep, i)
+	}
+	st.mu.Unlock()
+
+	// Replay every claimed key in config-parallel batches, one shard
+	// per worker. Every claim is resolved exactly once below — a shard
+	// error (including cancellation and converted panics) resolves its
+	// claims with the error and removes them so a later call retries;
+	// completed shards publish even when a sibling failed, so their
+	// work is kept.
+	ownRes := make(map[timingKey]pipeline.Result, len(claimKeys))
+	if len(claimKeys) > 0 {
+		ns := par.Workers(workers)
+		if ns > len(claimKeys) {
+			ns = len(claimKeys)
+		}
+		shardRes := make([][]pipeline.Result, ns)
+		shardErr := make([]error, ns)
+		lo := func(s int) int { return s * len(claimKeys) / ns }
+		cutErr := par.ForEachCtx(ctx, workers, ns, func(s int) error {
+			a, b := lo(s), lo(s+1)
+			pts := make([]pipeline.BatchPoint, b-a)
+			for j := a; j < b; j++ {
+				i := claimRep[j]
+				pts[j-a] = pipeline.BatchPoint{Cfg: cfgs[i], Ann: anns[i]}
+			}
+			shardRes[s], shardErr[s] = safeSimulateAnnotatedBatch(ctx, pw.Trace, pts)
+			return nil
+		})
+		var firstErr error
+		st.mu.Lock()
+		for s := 0; s < ns; s++ {
+			err := shardErr[s]
+			if err == nil && shardRes[s] == nil {
+				err = cutErr // shard never ran: the cancellation cut it
+			}
+			for j := lo(s); j < lo(s+1); j++ {
+				k := claimKeys[j]
+				e := own[k]
+				if err != nil {
+					e.err = err
+					if firstErr == nil {
+						firstErr = err
+					}
+					if st.timing[k] == e {
+						delete(st.timing, k)
+					}
+				} else {
+					e.val = shardRes[s][j-lo(s)]
+					e.val.Cache = cache.Stats{} // stamped per configuration on use
+					st.chargeTimingLocked(k, e)
+					ownRes[k] = e.val
+				}
+				close(e.done)
+			}
+		}
+		st.evictLocked()
+		st.mu.Unlock()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
+
+	// Waits on other requests' claims abandon when ctx ends — every
+	// claim of this call is already resolved above.
+	waitRes := make(map[timingKey]pipeline.Result, len(waits))
+	for k, e := range waits {
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if e.err != nil {
+			return nil, e.err
+		}
+		waitRes[k] = e.val
+	}
+
+	out := make([]pipeline.Result, len(cfgs))
+	for i := range cfgs {
+		res, ok := ownRes[keys[i]]
+		if !ok {
+			res = waitRes[keys[i]]
+		}
+		res.Cache = anns[i].MemStats
+		out[i] = res
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+func batchTestConfigs() []uarch.Config {
+	base := uarch.Default()
+	return []uarch.Config{
+		base,
+		base, // repeated: one claim serves both points
+		base.WithL2(1024, 16),
+		base.WithWidth(2).WithPredictor(uarch.PredHybrid3_5KB),
+	}
+}
+
+// TestSimulateDetailedBatchMatchesSimulate pins the batch entry point
+// against the self-contained simulator: every design point out of one
+// config-parallel pass must be bit-identical to pipeline.Simulate, and
+// the timing entries it memoizes must be hits for SimulateDetailed
+// (the two paths share one memo).
+func TestSimulateDetailedBatchMatchesSimulate(t *testing.T) {
+	spec, err := workloads.ByName("crc32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw := MustProfileProgram(spec.Build())
+	cfgs := batchTestConfigs()
+	got, err := pw.SimulateDetailedBatch(cfgs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(cfgs) {
+		t.Fatalf("batch returned %d results for %d configs", len(got), len(cfgs))
+	}
+	for i, cfg := range cfgs {
+		want, err := pipeline.Simulate(pw.Trace, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Errorf("cfg %d (%s): batch diverges:\n got  %+v\n want %+v", i, cfg, got[i], want)
+		}
+		single, err := pw.SimulateDetailed(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single != got[i] {
+			t.Errorf("cfg %d (%s): SimulateDetailed after batch differs — memo not shared:\n got  %+v\n want %+v", i, cfg, single, got[i])
+		}
+	}
+}
+
+// TestSimulateDetailedBatchCancelLeavesNoPartialMemo pins the
+// claimant contract of the batch path: a cancelled batch reports
+// ctx.Err() and resolves-and-removes every timing entry it claimed, so
+// the memo never holds a partial or poisoned entry, and a later call
+// with a live context recomputes everything bit-identically.
+//
+// Annotations are cached up front so the cancellation lands in the
+// batch phase itself rather than in annotation; wherever the internal
+// checkpoints observe it (partition, shard cut, or a chunk boundary
+// inside the kernel), the visible outcome must be the same.
+func TestSimulateDetailedBatchCancelLeavesNoPartialMemo(t *testing.T) {
+	spec, err := workloads.ByName("sha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw := MustProfileProgram(spec.Build())
+	cfgs := batchTestConfigs()
+	if err := pw.EnsureAnnotated(cfgs, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := pw.SimulateDetailedBatchCtx(ctx, cfgs, 2); err != context.Canceled {
+		t.Fatalf("cancelled batch returned %v, want context.Canceled", err)
+	}
+	pw.annot.mu.Lock()
+	left := len(pw.annot.timing)
+	pw.annot.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("cancelled batch left %d timing memo entries, want 0", left)
+	}
+
+	// Recovery: the same points under a live context compute cleanly
+	// and match the reference simulator.
+	got, err := pw.SimulateDetailedBatch(cfgs, 2)
+	if err != nil {
+		t.Fatalf("batch after cancellation: %v", err)
+	}
+	for i, cfg := range cfgs {
+		want, err := pipeline.Simulate(pw.Trace, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Errorf("cfg %d (%s): post-cancel batch diverges:\n got  %+v\n want %+v", i, cfg, got[i], want)
+		}
+	}
+	pw.annot.mu.Lock()
+	stored := len(pw.annot.timing)
+	pw.annot.mu.Unlock()
+	if stored == 0 {
+		t.Fatal("successful batch stored no timing memo entries")
+	}
+}

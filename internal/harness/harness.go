@@ -107,6 +107,15 @@ func ProfileProgramScaledCtx(ctx context.Context, p *program.Program, minDyn int
 	return &Profiled{Name: p.Name, Trace: b.Trace(), Prof: col.Result()}, nil
 }
 
+// Fresh returns a Profiled sharing this one's trace and profile but
+// with an empty annotation/timing cache and no artifact tier attached.
+// Benchmarks use it to measure cold exploration paths repeatedly
+// without paying for re-profiling, and without warm-cache iterations
+// polluting the mean.
+func (pw *Profiled) Fresh() *Profiled {
+	return &Profiled{Name: pw.Name, Trace: pw.Trace, Prof: pw.Prof}
+}
+
 // MustProfileProgram is ProfileProgram that panics on error.
 func MustProfileProgram(p *program.Program) *Profiled {
 	pw, err := ProfileProgram(p)

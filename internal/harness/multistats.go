@@ -163,6 +163,80 @@ type InputsSet struct {
 	ms *MultiStats
 }
 
+// fusedStats is the statistics side-channel of a fused
+// annotation+inputs pass (ExploreInputs): each annotation traversal
+// deposits the raw end-of-run statistics its engines produced, keyed
+// like MultiStats. It is written only from the sequential publish
+// section of ensureAnnotated, so it needs no locking.
+type fusedStats struct {
+	mem map[cache.HierarchyConfig]cache.Stats // raw engine stats (no I-stall fold)
+	br  map[uarch.PredictorKind]branch.Stats
+}
+
+// ExploreInputs is ExploreInputsCtx with a background context.
+func (pw *Profiled) ExploreInputs(cfgs []uarch.Config, workers int) (*InputsSet, error) {
+	return pw.ExploreInputsCtx(context.Background(), cfgs, workers)
+}
+
+// ExploreInputsCtx computes the annotation planes AND the model inputs
+// of every configuration in cfgs from one fused pass: the cache engine
+// and predictor that compute a component's plane see exactly the
+// stream CollectMultiStats would replay, so their end-of-run
+// statistics double as the model inputs. A cold validated exploration
+// therefore performs no separate statistics traversal at all.
+// Components that were already annotated (cache or disk hits) carry no
+// fused statistics; one supplemental CollectMultiStats replay covers
+// exactly those. The returned inputs are bit-identical to
+// MultiInputsCtx's, and the annotation cache is left exactly as
+// EnsureAnnotatedCtx would leave it.
+func (pw *Profiled) ExploreInputsCtx(ctx context.Context, cfgs []uarch.Config, workers int) (*InputsSet, error) {
+	fs := &fusedStats{
+		mem: make(map[cache.HierarchyConfig]cache.Stats),
+		br:  make(map[uarch.PredictorKind]branch.Stats),
+	}
+	// Same retry contract as EnsureAnnotatedCtx: another request's
+	// cancellation re-claims rather than reports. Statistics deposited
+	// by completed traversals of an aborted attempt stay valid — their
+	// components are published, so the retry recomputes only the rest.
+	for {
+		err := pw.ensureAnnotated(ctx, cfgs, workers, fs)
+		if err == nil {
+			break
+		}
+		if isCancellation(err) && ctx.Err() == nil {
+			continue
+		}
+		return nil, err
+	}
+	var missing []uarch.Config
+	for _, cfg := range cfgs {
+		_, okH := fs.mem[cfg.Hier]
+		_, okP := fs.br[cfg.Predictor]
+		if !okH || !okP {
+			missing = append(missing, cfg)
+		}
+	}
+	if len(missing) > 0 {
+		ms, err := CollectMultiStatsCtx(ctx, pw.Trace, missing)
+		if err != nil {
+			return nil, err
+		}
+		// Merge only the missing keys: fused values are bit-identical
+		// anyway, but the guard keeps the precedence explicit.
+		for h, cs := range ms.cacheStats {
+			if _, ok := fs.mem[h]; !ok {
+				fs.mem[h] = cs
+			}
+		}
+		for pk, bs := range ms.branchStats {
+			if _, ok := fs.br[pk]; !ok {
+				fs.br[pk] = bs
+			}
+		}
+	}
+	return &InputsSet{pw: pw, ms: &MultiStats{cacheStats: fs.mem, branchStats: fs.br}}, nil
+}
+
 // Inputs assembles the model inputs for one design point.
 func (s *InputsSet) Inputs(cfg uarch.Config) (core.Inputs, error) {
 	cs, bs, err := s.ms.Stats(cfg)

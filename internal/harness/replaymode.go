@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// ReplayMode selects the timing-replay kernel used by the detailed
+// validation paths: the config-parallel batch kernel (one pass over
+// each trace chunk evaluates every resident design point) or the
+// scalar kernel (one full replay per design point). Both are
+// bit-identical to pipeline.Simulate; the scalar kernel is kept so
+// regressions can be bisected from the CLI (-replay=scalar).
+type ReplayMode int32
+
+const (
+	// ReplayBatch sweeps all resident design points in one pass per
+	// trace chunk (pipeline.SimulateAnnotatedBatch). The default.
+	ReplayBatch ReplayMode = iota
+	// ReplayScalar replays the trace once per design point
+	// (pipeline.SimulateAnnotated) — the pre-batch kernel.
+	ReplayScalar
+)
+
+func (m ReplayMode) String() string {
+	switch m {
+	case ReplayBatch:
+		return "batch"
+	case ReplayScalar:
+		return "scalar"
+	}
+	return fmt.Sprintf("ReplayMode(%d)", int32(m))
+}
+
+// ParseReplayMode maps the CLI flag values "batch" and "scalar".
+func ParseReplayMode(s string) (ReplayMode, error) {
+	switch s {
+	case "batch":
+		return ReplayBatch, nil
+	case "scalar":
+		return ReplayScalar, nil
+	}
+	return ReplayBatch, fmt.Errorf("harness: unknown replay mode %q (want batch or scalar)", s)
+}
+
+var defaultReplay atomic.Int32 // ReplayBatch unless SetDefaultReplay
+
+// SetDefaultReplay sets the process-wide replay mode consulted by
+// paths without an explicit mode parameter (dse.ExploreValidated, the
+// modeld service, the single-point CLI validation).
+func SetDefaultReplay(m ReplayMode) { defaultReplay.Store(int32(m)) }
+
+// DefaultReplay returns the process-wide replay mode.
+func DefaultReplay() ReplayMode { return ReplayMode(defaultReplay.Load()) }

@@ -1,0 +1,169 @@
+package pipeline_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/dse"
+	"repro/internal/harness"
+	"repro/internal/pipeline"
+	"repro/internal/randprog"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+// batchPointsFor builds one BatchPoint per config, pooling annotation
+// planes across configs that share a component exactly like the
+// harness's canonicalization layer does: one memory plane per distinct
+// hierarchy, one bit plane per distinct predictor. The batch kernel
+// keys its shared work on plane pointer identity, so the pooling also
+// exercises the config-parallel paths.
+func batchPointsFor(t *testing.T, tr *trace.Trace, cfgs []uarch.Config) []pipeline.BatchPoint {
+	t.Helper()
+	memPlanes := make(map[cache.HierarchyConfig]pipeline.Annotation)
+	brPlanes := make(map[uarch.PredictorKind]*trace.BitPlane)
+	pts := make([]pipeline.BatchPoint, len(cfgs))
+	for i, cfg := range cfgs {
+		mem, ok := memPlanes[cfg.Hier]
+		if !ok {
+			mem = annotationFor(t, tr, cfg)
+			memPlanes[cfg.Hier] = mem
+		}
+		br, ok := brPlanes[cfg.Predictor]
+		if !ok {
+			br = branchPlane(tr, cfg.Predictor)
+			brPlanes[cfg.Predictor] = br
+		}
+		pts[i] = pipeline.BatchPoint{
+			Cfg: cfg,
+			Ann: pipeline.Annotation{Mem: mem.Mem, MemStats: mem.MemStats, Br: br},
+		}
+	}
+	return pts
+}
+
+// TestBatchMatchesAnnotatedTable2 pins SimulateAnnotatedBatch ==
+// SimulateAnnotated (the full Result struct, including cache stats)
+// on a real workload trace across all 192 Table 2 design points
+// evaluated in a single batch.
+func TestBatchMatchesAnnotatedTable2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("192-config differential sweep")
+	}
+	spec, err := workloads.ByName("sha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := harness.ProfileProgram(spec.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := dse.Space(uarch.Default())
+	pts := batchPointsFor(t, pw.Trace, space)
+	got, err := pipeline.SimulateAnnotatedBatch(pw.Trace, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(space) {
+		t.Fatalf("batch returned %d results for %d points", len(got), len(space))
+	}
+	for i, cfg := range space {
+		want, err := pipeline.SimulateAnnotated(pw.Trace, cfg, pts[i].Ann)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffResults(t, cfg.Name, want, got[i])
+	}
+}
+
+// TestBatchMatchesAnnotatedRandom differentially tests the batch
+// kernel on random programs across randomized Table 2 configurations
+// (every width, depth, L2 geometry and predictor appears across the
+// seeds), one batch call per program.
+func TestBatchMatchesAnnotatedRandom(t *testing.T) {
+	space := dse.Space(uarch.Default())
+	for seed := int64(1); seed <= 6; seed++ {
+		p := randprog.Generate(randprog.Default(seed))
+		pw, err := harness.ProfileProgram(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cfgs []uarch.Config
+		for i := int(seed) - 1; i < len(space); i += 6 {
+			cfgs = append(cfgs, space[i])
+		}
+		pts := batchPointsFor(t, pw.Trace, cfgs)
+		got, err := pipeline.SimulateAnnotatedBatch(pw.Trace, pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, cfg := range cfgs {
+			want, err := pipeline.SimulateAnnotated(pw.Trace, cfg, pts[i].Ann)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffResults(t, cfg.Name, want, got[i])
+		}
+	}
+}
+
+// TestBatchEdgeCases covers the degenerate inputs: no points, an
+// invalid config, and mismatched planes.
+func TestBatchEdgeCases(t *testing.T) {
+	p := randprog.Generate(randprog.Default(42))
+	pw, err := harness.ProfileProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pipeline.SimulateAnnotatedBatch(pw.Trace, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("empty batch returned %d results", len(res))
+	}
+
+	bad := uarch.Default()
+	bad.Width = 0
+	if _, err := pipeline.SimulateAnnotatedBatch(pw.Trace, []pipeline.BatchPoint{{Cfg: bad}}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+
+	cfg := uarch.Default()
+	ann := annotationFor(t, pw.Trace, cfg)
+	short := pipeline.Annotation{Mem: trace.NewBytePlaneBuilder().Plane(), Br: ann.Br}
+	if _, err := pipeline.SimulateAnnotatedBatch(pw.Trace, []pipeline.BatchPoint{{Cfg: cfg, Ann: short}}); err == nil {
+		t.Fatal("mismatched annotation plane accepted")
+	}
+}
+
+// TestBatchCancel verifies a cancelled context aborts the batch with
+// ctx.Err() and an uncancelled run is unaffected.
+func TestBatchCancel(t *testing.T) {
+	spec, err := workloads.ByName("sha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := harness.ProfileProgram(spec.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := uarch.Default()
+	pts := batchPointsFor(t, pw.Trace, []uarch.Config{cfg})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := pipeline.SimulateAnnotatedBatchCtx(ctx, pw.Trace, pts); err != context.Canceled {
+		t.Fatalf("cancelled batch returned %v, want context.Canceled", err)
+	}
+	got, err := pipeline.SimulateAnnotatedBatch(pw.Trace, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pipeline.SimulateAnnotated(pw.Trace, cfg, pts[0].Ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffResults(t, cfg.Name, want, got[0])
+}

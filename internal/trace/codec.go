@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"unsafe"
 
 	"repro/internal/isa"
 )
@@ -214,6 +215,129 @@ func decodeTraceChunk(body []byte, ck *Columns) {
 		ck.Target[i] = int32(binary.LittleEndian.Uint32(body[off+4*i:]))
 	}
 }
+
+// aliasColumn reinterprets a byte slice as a single-byte column type
+// without copying. All reinterpreted column types (isa.Op, isa.Class,
+// isa.Reg) have underlying type uint8, so alignment and size are
+// trivially compatible.
+func aliasColumn[T ~uint8](b []byte) []T {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*T)(unsafe.Pointer(&b[0])), len(b))
+}
+
+// MapTrace builds a Trace directly over an encoded stream pinned in
+// memory — the zero-copy counterpart of ReadTraceFrom for artifacts
+// rehydrated through a read-only file mapping. The six single-byte
+// columns (Op, Class, Flags, Dst, Src1, Src2) alias the mapped bytes;
+// the multi-byte columns (PC, EffAddr, Target) are decoded into
+// exact-size slices because their in-stream alignment depends on the
+// chunk's live length. Column slices are exactly live-sized (no spare
+// capacity) and must not be written.
+//
+// Validation matches the decode path's guarantees at the same
+// boundary: the stream length must equal the exact size its header
+// implies (which also validates the header itself), and every chunk's
+// CRC-32C is verified before the trace is returned — a corrupt stream
+// yields ErrCorrupt here, never a trace that fails later, so callers'
+// fall-back-to-fresh-profiling logic stays at the load site.
+//
+// owner, if non-nil, is retained by the returned trace so the mapping
+// outlives every alias.
+func MapTrace(data []byte, owner *Mapping) (*Trace, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("%w: trace stream shorter than its header", ErrCorrupt)
+	}
+	n := int64(binary.LittleEndian.Uint64(data))
+	if n < 0 || n > maxDecodeLen {
+		return nil, fmt.Errorf("%w: implausible trace length %d", ErrCorrupt, uint64(n))
+	}
+	if want := 8 + n*traceInstBytes + 4*chunkCount(n); int64(len(data)) != want {
+		return nil, fmt.Errorf("%w: trace stream is %d bytes, header implies %d", ErrCorrupt, len(data), want)
+	}
+	t := &Trace{n: n, owner: owner}
+	nc := chunkCount(n)
+	t.chunks = make([]Columns, 0, nc)
+	off := int64(8)
+	for c := int64(0); c < nc; c++ {
+		live := int64(chunkLive(n, c))
+		body := data[off : off+live*traceInstBytes]
+		off += live * traceInstBytes
+		if got, want := crc32.Checksum(body, crcTable), binary.LittleEndian.Uint32(data[off:]); got != want {
+			return nil, fmt.Errorf("%w: trace chunk %d checksum mismatch (got %08x, want %08x)", ErrCorrupt, c, got, want)
+		}
+		off += 4
+		ck := Columns{Base: c << ChunkShift, N: int(live)}
+		ck.PC = make([]int32, live)
+		for i := range ck.PC {
+			ck.PC[i] = int32(binary.LittleEndian.Uint32(body[4*i:]))
+		}
+		p := 4 * int(live)
+		ck.Op = aliasColumn[isa.Op](body[p : p+int(live)])
+		p += int(live)
+		ck.Class = aliasColumn[isa.Class](body[p : p+int(live)])
+		p += int(live)
+		ck.Flags = body[p : p+int(live) : p+int(live)]
+		p += int(live)
+		ck.Dst = aliasColumn[isa.Reg](body[p : p+int(live)])
+		p += int(live)
+		ck.Src1 = aliasColumn[isa.Reg](body[p : p+int(live)])
+		p += int(live)
+		ck.Src2 = aliasColumn[isa.Reg](body[p : p+int(live)])
+		p += int(live)
+		ck.EffAddr = make([]int64, live)
+		for i := range ck.EffAddr {
+			ck.EffAddr[i] = int64(binary.LittleEndian.Uint64(body[p+8*i:]))
+		}
+		p += 8 * int(live)
+		ck.Target = make([]int32, live)
+		for i := range ck.Target {
+			ck.Target[i] = int32(binary.LittleEndian.Uint32(body[p+4*i:]))
+		}
+		t.chunks = append(t.chunks, ck)
+	}
+	return t, nil
+}
+
+// Mapped reports whether this trace's columns alias a file mapping.
+func (t *Trace) Mapped() bool { return t != nil && t.owner != nil }
+
+// MapBytePlane builds a BytePlane directly over an encoded stream
+// pinned in memory: every chunk aliases the mapped bytes (the plane's
+// payload is its live bytes verbatim). Validation mirrors MapTrace:
+// exact-size framing plus per-chunk CRC-32C, ErrCorrupt on any
+// mismatch.
+func MapBytePlane(data []byte, owner *Mapping) (*BytePlane, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("%w: byte-plane stream shorter than its header", ErrCorrupt)
+	}
+	n := int64(binary.LittleEndian.Uint64(data))
+	if n < 0 || n > maxDecodeLen {
+		return nil, fmt.Errorf("%w: implausible byte-plane length %d", ErrCorrupt, uint64(n))
+	}
+	if want := 8 + n + 4*chunkCount(n); int64(len(data)) != want {
+		return nil, fmt.Errorf("%w: byte-plane stream is %d bytes, header implies %d", ErrCorrupt, len(data), want)
+	}
+	p := &BytePlane{n: n, owner: owner}
+	nc := chunkCount(n)
+	p.chunks = make([][]uint8, 0, nc)
+	off := int64(8)
+	for c := int64(0); c < nc; c++ {
+		live := int64(chunkLive(n, c))
+		body := data[off : off+live : off+live]
+		off += live
+		if got, want := crc32.Checksum(body, crcTable), binary.LittleEndian.Uint32(data[off:]); got != want {
+			return nil, fmt.Errorf("%w: byte-plane chunk %d checksum mismatch (got %08x, want %08x)", ErrCorrupt, c, got, want)
+		}
+		off += 4
+		p.chunks = append(p.chunks, body)
+	}
+	return p, nil
+}
+
+// Mapped reports whether this plane's chunks alias a file mapping.
+func (p *BytePlane) Mapped() bool { return p != nil && p.owner != nil }
 
 // EncodedSize returns the exact number of bytes WriteTo will produce.
 func (p *BytePlane) EncodedSize() int64 {

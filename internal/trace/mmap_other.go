@@ -1,0 +1,20 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package trace
+
+import (
+	"errors"
+	"os"
+)
+
+const mmapSupported = false
+
+var errNoMmap = errors.New("trace: mmap unsupported")
+
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, errNoMmap
+}
+
+func munmapBytes(b []byte) error {
+	return nil
+}

@@ -50,6 +50,10 @@ const AnnSideMask = 0x7
 type BytePlane struct {
 	chunks [][]uint8
 	n      int64
+
+	// owner pins the memory mapping backing the chunk slices of a
+	// mapped plane (see MapBytePlane); nil otherwise.
+	owner *Mapping
 }
 
 // Len returns the number of annotated instructions.

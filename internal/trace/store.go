@@ -28,6 +28,12 @@ import (
 type Trace struct {
 	chunks []Columns
 	n      int64
+
+	// owner pins the memory mapping whose pages back this trace's
+	// single-byte column slices (see MapTrace); nil for traces built
+	// in memory or decoded by ReadTraceFrom. Holding the reference
+	// keeps the mapping's finalizer from unmapping under a live trace.
+	owner *Mapping
 }
 
 // Chunk geometry: 1<<ChunkShift instructions per chunk. Random access

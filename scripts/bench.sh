@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
-# bench.sh — run the figure-level benchmark suite once and record the
-# per-figure wall time and headline metrics as a JSON baseline.
+# bench.sh — run the figure-level benchmark suite and record the
+# per-figure wall time and headline metrics as a JSON baseline. Each
+# benchmark runs -count=3 times on this 1-core runner and the baseline
+# keeps the minimum wall time (the least-noisy estimate); figure
+# metrics are bit-identical across repeats, so they are taken from the
+# first run.
 #
 # Usage:
 #   scripts/bench.sh [N]
@@ -33,14 +37,14 @@ if [[ -n "$art_dir" ]] && compgen -G "$art_dir/*.rpaf" > /dev/null; then
 fi
 export BENCH_ART_DIR="$art_dir" BENCH_ART_WARM="$art_warm"
 
-echo "running benchmark suite (one iteration per figure)..." >&2
+echo "running benchmark suite (one iteration per figure, 3 repeats, min wall)..." >&2
 if [[ -n "$art_dir" ]]; then
   echo "artifact store: $art_dir ($([[ "$art_warm" == 1 ]] && echo warm || echo cold))" >&2
 fi
 # -benchmem so B/op and allocs/op land in the JSON metrics: trace-memory
 # regressions (bytes/recorded-instruction, replay allocations) are part
 # of the baseline.
-go test -run '^$' -bench . -benchtime=1x -benchmem . | tee "$raw" >&2
+go test -run '^$' -bench . -benchtime=1x -count=3 -benchmem . | tee "$raw" >&2
 
 # Robustness probes: boot a tightly-bounded modeld, drive one request
 # into each lifecycle failure mode (deadline expiry, client disconnect,
@@ -91,6 +95,15 @@ for line in open(raw_path):
     if not m:
         continue
     name, iters, ns, rest = m.group(1), int(m.group(2)), float(m.group(3)), m.group(4)
+    if name in benches:
+        # Repeat from -count: keep the minimum wall time (least noise
+        # on a shared 1-core runner). Figure metrics are bit-identical
+        # across repeats, so the first run's metrics stand; allocation
+        # columns can jitter and are deliberately not re-read.
+        b = benches[name]
+        b["samples"] += 1
+        b["wall_seconds"] = min(b["wall_seconds"], ns / 1e9)
+        continue
     metrics = {}
     for val, unit in re.findall(r'([\d.e+-]+) ([\w/%-]+)', rest):
         metrics[unit] = float(val)
@@ -98,9 +111,10 @@ for line in open(raw_path):
         "iterations": iters,
         "wall_seconds": ns / 1e9,
         "metrics": metrics,
+        "samples": 1,
     }
 
-doc = {"suite": "go test -bench=. -benchtime=1x -benchmem", "benchmarks": benches}
+doc = {"suite": "go test -bench=. -benchtime=1x -count=3 -benchmem (min wall of 3)", "benchmarks": benches}
 
 # Warm/cold provenance: a warm run (artifact store already populated)
 # skips workload profiling, so its wall times are not comparable with a
