@@ -9,17 +9,26 @@
 //
 // Endpoints:
 //
-//	GET /v1/predict?bench=sha&width=2&stages=5&l2kb=256&l2ways=8&pred=hybrid[&validate=true]
-//	GET /v1/explore?bench=gsm_c[&validate=true][&width=4][&l2kb=512][&pred=gshare][&top=10]
-//	GET /v1/workloads
-//	GET /v1/artifacts
-//	GET /healthz
-//	GET /metrics
+//	GET  /v1/predict?bench=sha&width=2&stages=5&l2kb=256&l2ways=8&pred=hybrid[&validate=true]
+//	GET  /v1/explore?bench=gsm_c[&validate=true][&width=4][&l2kb=512][&pred=gshare][&top=10]
+//	GET  /v1/workloads
+//	POST /v1/workloads   (assembly text body; optional X-Tenant header)
+//	GET  /v1/artifacts
+//	GET  /healthz
+//	GET  /metrics
 //
 // With -artifact-dir, profiled workloads and annotation planes persist
 // in a content-addressed store across restarts: the server warm-starts
 // from it on boot and serves stored workloads with zero profiling,
 // bit-identical to profiling fresh.
+//
+// POST /v1/workloads ingests untrusted programs: the body is assembly
+// text, validated against static limits, profiled inside a sandbox
+// (instruction budget, wall-clock deadline, panic containment), and
+// registered under a content-addressed name ("user-<fingerprint>")
+// that works everywhere a built-in benchmark name does. Per-tenant
+// quotas (keyed by the X-Tenant header) bound stored workloads, stored
+// bytes, and concurrent ingestion jobs.
 //
 // Usage:
 //
@@ -40,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/ingest"
 	"repro/internal/par"
 	"repro/internal/service"
 )
@@ -61,6 +71,14 @@ func main() {
 		queueDepth      = flag.Int("queue-depth", 0, "max requests parked waiting for a worker token; arrivals beyond it are shed with 429 (0 = unbounded)")
 		queueWait       = flag.Duration("queue-wait", 0, "max time a request may wait for a worker token before being shed with 429 (0 = unbounded)")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests after SIGINT/SIGTERM; queued-but-unstarted requests are rejected with 503 immediately")
+
+		maxBodyBytes   = flag.Int64("max-body-bytes", 0, "request body cap in bytes for every endpoint; exceeding it answers 413 payload_too_large (0 = 2 MiB default, negative = uncapped)")
+		ingestSrcBytes = flag.Int("ingest-max-source-bytes", 0, "max assembly source bytes per POST /v1/workloads submission (0 = 1 MiB default)")
+		ingestDynInsts = flag.Int64("ingest-max-dyn-insts", 0, "dynamic-instruction budget for profiling one submission (0 = default)")
+		ingestRunTime  = flag.Duration("ingest-max-runtime", 0, "wall-clock budget for profiling one submission (0 = 10s default)")
+		quotaWorkloads = flag.Int("quota-workloads", 0, "stored workloads allowed per tenant (0 = default)")
+		quotaBytes     = flag.Int64("quota-source-bytes", 0, "total stored source bytes allowed per tenant (0 = default)")
+		quotaInFlight  = flag.Int("quota-inflight", 0, "concurrent ingestion jobs allowed per tenant (0 = default)")
 	)
 	flag.Parse()
 	par.SetDefault(*workers)
@@ -76,6 +94,17 @@ func main() {
 		ExploreTimeout: *exploreTimeout,
 		QueueDepth:     *queueDepth,
 		QueueWait:      *queueWait,
+		MaxBodyBytes:   *maxBodyBytes,
+		Ingest: ingest.Limits{
+			MaxSourceBytes: *ingestSrcBytes,
+			MaxDynInsts:    *ingestDynInsts,
+			MaxRunTime:     *ingestRunTime,
+		},
+		Quota: ingest.QuotaConfig{
+			MaxWorkloads:   *quotaWorkloads,
+			MaxSourceBytes: *quotaBytes,
+			MaxInFlight:    *quotaInFlight,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -20,6 +20,7 @@
 package asm
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -28,9 +29,36 @@ import (
 	"repro/internal/program"
 )
 
-// Assemble parses source text into a program named name.
+// ErrLimit marks a source rejected by AssembleLimited's static limits
+// (size, block/instruction/data counts, memory words). errors.Is-able
+// so callers can distinguish "too big" from "malformed".
+var ErrLimit = errors.New("asm: source exceeds limit")
+
+// Limits bounds what AssembleLimited accepts. Zero fields are
+// unlimited (up to program.MaxMemWords, which Build always enforces).
+// The limits are checked while parsing, so a hostile source fails
+// fast instead of building an arbitrarily large IR first.
+type Limits struct {
+	MaxSourceBytes int   // length of the source text
+	MaxBlocks      int   // labeled basic blocks
+	MaxInsts       int   // static instructions across all blocks
+	MaxDataEntries int   // distinct .data-initialized words
+	MaxMemWords    int64 // .mem declaration
+}
+
+// Assemble parses source text into a program named name, without
+// static limits (trusted callers: tests, tools, round-trips).
 func Assemble(name, src string) (*program.Program, error) {
-	a := &assembler{prog: program.New(name, 0)}
+	return AssembleLimited(name, src, Limits{})
+}
+
+// AssembleLimited is Assemble under explicit static limits; violations
+// wrap ErrLimit.
+func AssembleLimited(name, src string, lim Limits) (*program.Program, error) {
+	if lim.MaxSourceBytes > 0 && len(src) > lim.MaxSourceBytes {
+		return nil, fmt.Errorf("%w: source is %d bytes, cap %d", ErrLimit, len(src), lim.MaxSourceBytes)
+	}
+	a := &assembler{prog: program.New(name, 0), lim: lim}
 	for ln, raw := range strings.Split(src, "\n") {
 		line := raw
 		if i := strings.IndexByte(line, ';'); i >= 0 {
@@ -54,8 +82,10 @@ func Assemble(name, src string) (*program.Program, error) {
 }
 
 type assembler struct {
-	prog *program.Program
-	cur  *program.Builder
+	prog  *program.Program
+	cur   *program.Builder
+	lim   Limits
+	insts int
 }
 
 func (a *assembler) line(line string) error {
@@ -66,6 +96,9 @@ func (a *assembler) line(line string) error {
 		label := strings.TrimSuffix(line, ":")
 		if label == "" {
 			return fmt.Errorf("empty label")
+		}
+		if a.lim.MaxBlocks > 0 && len(a.prog.Blocks) >= a.lim.MaxBlocks {
+			return fmt.Errorf("%w: more than %d blocks", ErrLimit, a.lim.MaxBlocks)
 		}
 		a.cur = a.prog.Block(label)
 		return nil
@@ -88,6 +121,9 @@ func (a *assembler) directive(line string) error {
 		if err != nil {
 			return err
 		}
+		if a.lim.MaxMemWords > 0 && n > a.lim.MaxMemWords {
+			return fmt.Errorf("%w: .mem %d words, cap %d", ErrLimit, n, a.lim.MaxMemWords)
+		}
 		a.prog.MemWords = n
 		return nil
 	case ".data":
@@ -102,6 +138,11 @@ func (a *assembler) directive(line string) error {
 			v, err := parseInt(f)
 			if err != nil {
 				return err
+			}
+			if a.lim.MaxDataEntries > 0 && len(a.prog.Data) >= a.lim.MaxDataEntries {
+				if _, exists := a.prog.Data[addr+int64(i)]; !exists {
+					return fmt.Errorf("%w: more than %d data words", ErrLimit, a.lim.MaxDataEntries)
+				}
 			}
 			a.prog.SetData(addr+int64(i), v)
 		}
@@ -219,6 +260,10 @@ func (a *assembler) instruction(line string) error {
 	if err != nil {
 		return err
 	}
+	if a.lim.MaxInsts > 0 && a.insts >= a.lim.MaxInsts {
+		return fmt.Errorf("%w: more than %d instructions", ErrLimit, a.lim.MaxInsts)
+	}
+	a.insts++
 	a.cur.Blk().Insts = append(a.cur.Blk().Insts, in)
 	return nil
 }

@@ -1,0 +1,51 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/randprog"
+	"repro/internal/workloads"
+)
+
+// FuzzAssemble throws arbitrary text at the limited assembler. The
+// invariants: it never panics, limit violations surface as ErrLimit
+// (checked implicitly by error-not-panic), and anything it accepts
+// must survive the canonical round trip — disassemble, reassemble,
+// same fingerprint — because the ingestion registry's identity rests
+// on exactly that property.
+func FuzzAssemble(f *testing.F) {
+	f.Add(".mem 64\nmain:\n li r1, 1\n halt\n")
+	f.Add(".mem 8\n.data 0 7\nmain:\n ld r1, 0(r0)\n st r1, 1(r0)\n halt\n")
+	f.Add("main:\n halt\n")
+	f.Add(".mem 0x40\nmain:\n li r1, -5\nloop:\n addi r1, r1, 1\n blt r1, r2, loop\n halt\n.loop loop loop 1\n")
+	f.Add(strings.Repeat(".data 0 1\n", 10))
+	for _, name := range []string{"sha", "crc32"} {
+		if spec, err := workloads.ByName(name); err == nil {
+			f.Add(Disassemble(spec.Build()))
+		}
+	}
+	f.Add(Disassemble(randprog.Generate(randprog.Default(1))))
+
+	lim := Limits{
+		MaxSourceBytes: 1 << 16,
+		MaxBlocks:      256,
+		MaxInsts:       4096,
+		MaxDataEntries: 1024,
+		MaxMemWords:    1 << 16,
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := AssembleLimited("fuzz", src, lim)
+		if err != nil {
+			return
+		}
+		text := Disassemble(p)
+		back, err := AssembleLimited("fuzz", text, lim)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n--- source ---\n%s\n--- canonical ---\n%s", err, src, text)
+		}
+		if back.Fingerprint() != p.Fingerprint() {
+			t.Fatalf("round trip changed fingerprint\n--- source ---\n%s", src)
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package asm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestAssembleLimited: each static limit rejects with ErrLimit, and
+// the same source passes once the limit is loosened.
+func TestAssembleLimited(t *testing.T) {
+	src := ".mem 64\n.data 0 1\n.data 1 2\nmain:\n li r1, 1\n addi r1, r1, 1\nnext:\n halt\n"
+	loose := Limits{MaxSourceBytes: 1 << 10, MaxBlocks: 8, MaxInsts: 8, MaxDataEntries: 8, MaxMemWords: 128}
+	if _, err := AssembleLimited("t", src, loose); err != nil {
+		t.Fatalf("loose limits rejected a fine program: %v", err)
+	}
+	cases := []struct {
+		name string
+		lim  Limits
+	}{
+		{"source bytes", Limits{MaxSourceBytes: 10}},
+		{"blocks", Limits{MaxBlocks: 1}},
+		{"instructions", Limits{MaxInsts: 2}},
+		{"data entries", Limits{MaxDataEntries: 1}},
+		{"memory words", Limits{MaxMemWords: 32}},
+	}
+	for _, c := range cases {
+		_, err := AssembleLimited("t", src, c.lim)
+		if !errors.Is(err, ErrLimit) {
+			t.Errorf("%s: err = %v, want ErrLimit", c.name, err)
+		}
+	}
+}
+
+// TestAssembleLimitedZeroMeansUnlimited: the zero value must behave
+// exactly like Assemble.
+func TestAssembleLimitedZeroMeansUnlimited(t *testing.T) {
+	src := ".mem 64\nmain:\n" + strings.Repeat(" addi r1, r1, 1\n", 100) + " halt\n"
+	p1, err := AssembleLimited("t", src, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Fingerprint() != p2.Fingerprint() {
+		t.Fatal("limited and unlimited assembly disagree")
+	}
+}
+
+// TestDataOverwriteNotDoubleCounted: re-initializing the same address
+// must not consume extra data-entry budget.
+func TestDataOverwriteNotDoubleCounted(t *testing.T) {
+	src := ".mem 8\n.data 0 1\n.data 0 2\n.data 0 3\nmain:\n halt\n"
+	if _, err := AssembleLimited("t", src, Limits{MaxDataEntries: 1}); err != nil {
+		t.Fatalf("overwrites double-counted: %v", err)
+	}
+}

@@ -9,6 +9,7 @@
 package funcsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -21,8 +22,23 @@ import (
 // dynamic instruction budget without reaching HALT.
 var ErrMaxInstructions = errors.New("funcsim: dynamic instruction limit exceeded")
 
+// ErrMemFault marks a load/store whose effective address fell outside
+// the program's data memory; errors.Is-able so the ingestion path can
+// classify hostile programs without parsing messages.
+var ErrMemFault = errors.New("funcsim: memory access out of range")
+
+// ErrPCFault marks control flow escaping the instruction array (a
+// program falling off its last block without HALT).
+var ErrPCFault = errors.New("funcsim: PC out of range")
+
 // DefaultMaxInstructions bounds runaway programs.
 const DefaultMaxInstructions = 200_000_000
+
+// ctxCheckInterval is how many retired instructions RunCtx lets pass
+// between context checks: frequent enough that a wall-clock deadline
+// on an adversarial infinite loop bites within microseconds, rare
+// enough that the hot interpreter loop never notices.
+const ctxCheckInterval = 1 << 16
 
 // Machine executes one program.
 type Machine struct {
@@ -46,6 +62,11 @@ func New(p *program.Program) (*Machine, error) {
 	}
 	if p.MemWords <= 0 {
 		return nil, fmt.Errorf("funcsim: program %q has no data memory", p.Name)
+	}
+	// Build enforces this too; re-check at the allocation site so a
+	// hand-assembled Program can never trigger an unbounded make.
+	if p.MemWords > program.MaxMemWords {
+		return nil, fmt.Errorf("funcsim: program %q wants %d memory words, above the %d-word ceiling", p.Name, p.MemWords, int64(program.MaxMemWords))
 	}
 	m := &Machine{Instrs: ins, Mem: make([]int64, p.MemWords)}
 	for a, v := range p.Data {
@@ -72,17 +93,32 @@ func MustNew(p *program.Program) *Machine {
 // of dynamically executed instructions (HALT itself is not counted or
 // streamed: it never enters the modeled pipeline's trace).
 func (m *Machine) Run(sink trace.Consumer) (int64, error) {
+	return m.RunCtx(context.Background(), sink)
+}
+
+// RunCtx is Run under a context: every ctxCheckInterval retired
+// instructions the context is polled, so a deadline or cancellation
+// stops even a tight infinite loop promptly (returning ctx.Err() with
+// the partial retirement count). A background context adds no per-
+// instruction work; Run and RunCtx retire identical streams.
+func (m *Machine) RunCtx(ctx context.Context, sink trace.Consumer) (int64, error) {
 	maxN := m.MaxInstructions
 	if maxN <= 0 {
 		maxN = DefaultMaxInstructions
 	}
 	record := sink != nil
+	watched := ctx.Done() != nil
 	var local trace.DynInst
 	d := &local
 	memLen := int64(len(m.Mem))
 	for !m.Halted {
+		if watched && m.Retired&(ctxCheckInterval-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return m.Retired, err
+			}
+		}
 		if m.PC < 0 || m.PC >= int64(len(m.Instrs)) {
-			return m.Retired, fmt.Errorf("funcsim: PC %d out of range [0,%d)", m.PC, len(m.Instrs))
+			return m.Retired, fmt.Errorf("%w: PC %d outside [0,%d)", ErrPCFault, m.PC, len(m.Instrs))
 		}
 		in := &m.Instrs[m.PC]
 		if in.Op == isa.HALT {
@@ -167,14 +203,14 @@ func (m *Machine) Run(sink trace.Consumer) (int64, error) {
 		case isa.LD:
 			addr := s1 + in.Imm
 			if addr < 0 || addr >= memLen {
-				return m.Retired, fmt.Errorf("funcsim: load address %d out of range at PC %d (%v)", addr, m.PC, in)
+				return m.Retired, fmt.Errorf("%w: load address %d at PC %d (%v)", ErrMemFault, addr, m.PC, in)
 			}
 			wval, writes = m.Mem[addr], true
 			d.EffAddr, d.IsLoad = addr, true
 		case isa.ST:
 			addr := s1 + in.Imm
 			if addr < 0 || addr >= memLen {
-				return m.Retired, fmt.Errorf("funcsim: store address %d out of range at PC %d (%v)", addr, m.PC, in)
+				return m.Retired, fmt.Errorf("%w: store address %d at PC %d (%v)", ErrMemFault, addr, m.PC, in)
 			}
 			m.Mem[addr] = s2
 			d.EffAddr, d.IsStore = addr, true

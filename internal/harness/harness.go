@@ -107,6 +107,64 @@ func ProfileProgramScaledCtx(ctx context.Context, p *program.Program, minDyn int
 	return &Profiled{Name: p.Name, Trace: b.Trace(), Prof: col.Result()}, nil
 }
 
+// ProfileProgramSandboxedCtx is ProfileProgramScaledCtx hardened for
+// untrusted programs: execution carries a hard dynamic-instruction cap
+// maxDyn across all scaling runs (funcsim.ErrMaxInstructions when it
+// would be exceeded before the minDyn floor is met), the context is
+// polled inside each run at chunk granularity (funcsim.RunCtx), so a
+// wall-clock deadline stops even a tight infinite loop, and a panic
+// anywhere in the build/execute/collect stack is converted into an
+// error — a hostile submission can fail only itself, never the
+// process. maxDyn ≤ 0 means funcsim.DefaultMaxInstructions per run.
+func ProfileProgramSandboxedCtx(ctx context.Context, p *program.Program, minDyn, maxDyn int64) (pw *Profiled, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			pw, err = nil, fmt.Errorf("harness: profiling %q panicked: %v", p.Name, rec)
+		}
+	}()
+	b := trace.NewBuilder()
+	col := profile.NewCollector(p.Name)
+	var total int64
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		m, err := funcsim.New(p)
+		if err != nil {
+			return nil, fmt.Errorf("harness: profiling %q: %w", p.Name, err)
+		}
+		if maxDyn > 0 {
+			remaining := maxDyn - total
+			if remaining <= 0 {
+				return nil, fmt.Errorf("harness: profiling %q: %w (budget %d)", p.Name, funcsim.ErrMaxInstructions, maxDyn)
+			}
+			m.MaxInstructions = remaining
+		}
+		var sink trace.Consumer
+		if total == 0 {
+			sink = trace.Tee{b, col}
+		} else {
+			base := total
+			sink = trace.Tee{b, trace.ConsumerFunc(func(d *trace.DynInst) {
+				d.Seq += base
+				col.Consume(d)
+			})}
+		}
+		n, err := m.RunCtx(ctx, sink)
+		if err != nil {
+			return nil, fmt.Errorf("harness: profiling %q: %w", p.Name, err)
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("harness: program %q executed zero instructions", p.Name)
+		}
+		total += n
+		if total >= minDyn {
+			break
+		}
+	}
+	return &Profiled{Name: p.Name, Trace: b.Trace(), Prof: col.Result()}, nil
+}
+
 // Fresh returns a Profiled sharing this one's trace and profile but
 // with an empty annotation/timing cache and no artifact tier attached.
 // Benchmarks use it to measure cold exploration paths repeatedly

@@ -1,0 +1,60 @@
+package ingest
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/randprog"
+	"repro/internal/workloads"
+)
+
+// FuzzSubmission drives arbitrary text through the full ingestion
+// gauntlet — CheckSource, Parse, sandboxed Profile under tiny budgets —
+// exactly the path POST /v1/workloads walks. The invariant is total
+// containment: no input may panic, hang past the wall-clock budget, or
+// allocate proportionally to unvalidated claims. Errors are fine; they
+// are the product.
+func FuzzSubmission(f *testing.F) {
+	f.Add(goodSrc)
+	f.Add(spinSrc)
+	f.Add(oobSrc)
+	f.Add(".mem 1099511627776\nmain:\n halt\n")
+	f.Add(".mem 8\nmain:\n jmp main\n")
+	f.Add(strings.Repeat("a:\n halt\n", 100))
+	if spec, err := workloads.ByName("crc32"); err == nil {
+		f.Add(asm.Disassemble(spec.Build()))
+	}
+	f.Add(asm.Disassemble(randprog.Generate(randprog.Default(2))))
+
+	lim := Limits{
+		MaxSourceBytes: 1 << 14,
+		MaxBlocks:      128,
+		MaxInsts:       2048,
+		MaxDataEntries: 512,
+		MaxMemWords:    1 << 14,
+		MaxDynInsts:    200_000,
+		MaxRunTime:     2 * time.Second,
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if err := CheckSource(src, lim); err != nil {
+			return
+		}
+		p, err := Parse(src, lim)
+		if err != nil {
+			return
+		}
+		start := time.Now()
+		if _, err := Profile(context.Background(), p, 0, lim); err == nil {
+			// Accepted: the canonical identity must be reproducible.
+			if WorkloadName(p.Fingerprint()) == "" {
+				t.Fatal("accepted program with empty workload name")
+			}
+		}
+		if elapsed := time.Since(start); elapsed > 30*time.Second {
+			t.Fatalf("sandbox let a run go %v, budget was %v", elapsed, lim.MaxRunTime)
+		}
+	})
+}

@@ -1,0 +1,199 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrQuota: the tenant is over one of its quotas. The service maps it
+// to quota_exceeded / HTTP 429.
+var ErrQuota = errors.New("ingest: tenant quota exceeded")
+
+// DefaultTenant is the bucket for requests that carry no tenant
+// header: anonymous submitters share one quota rather than getting a
+// fresh one per request.
+const DefaultTenant = "anonymous"
+
+// MaxTenantName bounds the tenant identifier itself — an attacker
+// spinning a random header per request must not grow server state
+// without bound faster than the tenant-count cap already allows.
+const MaxTenantName = 64
+
+// QuotaConfig bounds one tenant's footprint. Zero fields take
+// DefaultQuota values; like Limits there is no unlimited mode.
+type QuotaConfig struct {
+	MaxWorkloads   int   // distinct stored workloads per tenant
+	MaxSourceBytes int64 // total stored canonical source bytes per tenant
+	MaxInFlight    int   // concurrent ingestion jobs per tenant
+	MaxTenants     int   // distinct tenants the server will track
+}
+
+// DefaultQuota is the shipped posture.
+func DefaultQuota() QuotaConfig {
+	return QuotaConfig{
+		MaxWorkloads:   64,
+		MaxSourceBytes: 8 << 20, // 8 MiB of stored source
+		MaxInFlight:    2,
+		MaxTenants:     1024,
+	}
+}
+
+// WithDefaults fills zero fields from DefaultQuota.
+func (q QuotaConfig) WithDefaults() QuotaConfig {
+	d := DefaultQuota()
+	if q.MaxWorkloads == 0 {
+		q.MaxWorkloads = d.MaxWorkloads
+	}
+	if q.MaxSourceBytes == 0 {
+		q.MaxSourceBytes = d.MaxSourceBytes
+	}
+	if q.MaxInFlight == 0 {
+		q.MaxInFlight = d.MaxInFlight
+	}
+	if q.MaxTenants == 0 {
+		q.MaxTenants = d.MaxTenants
+	}
+	return q
+}
+
+// tenant is one submitter's ledger.
+type tenant struct {
+	workloads map[string]int64 // stored workload name -> charged bytes
+	bytes     int64            // sum of workloads values
+	inFlight  int
+}
+
+// Quotas tracks per-tenant consumption. Charges are keyed by workload
+// name so the ledger is idempotent: a tenant re-submitting a program
+// it already stored is never double-billed, while two tenants storing
+// the same (content-shared) workload are each billed once — quotas
+// meter tenants, dedup happens a layer down in the artifact store.
+type Quotas struct {
+	mu         sync.Mutex
+	cfg        QuotaConfig
+	tenants    map[string]*tenant
+	rejections int64
+}
+
+// NewQuotas returns a tracker enforcing cfg.
+func NewQuotas(cfg QuotaConfig) *Quotas {
+	return &Quotas{cfg: cfg.WithDefaults(), tenants: make(map[string]*tenant)}
+}
+
+// CleanTenant normalizes a raw tenant identifier: empty maps to
+// DefaultTenant, overlong names are rejected.
+func CleanTenant(raw string) (string, error) {
+	if raw == "" {
+		return DefaultTenant, nil
+	}
+	if len(raw) > MaxTenantName {
+		return "", fmt.Errorf("%w: tenant name %d bytes, cap %d", ErrInvalid, len(raw), MaxTenantName)
+	}
+	return raw, nil
+}
+
+// lookup returns the tenant ledger, creating it if the tenant cap
+// allows. Callers hold q.mu.
+func (q *Quotas) lookup(name string) (*tenant, error) {
+	t, ok := q.tenants[name]
+	if !ok {
+		if len(q.tenants) >= q.cfg.MaxTenants {
+			q.rejections++
+			return nil, fmt.Errorf("%w: server is tracking the maximum %d tenants", ErrQuota, q.cfg.MaxTenants)
+		}
+		t = &tenant{workloads: make(map[string]int64)}
+		q.tenants[name] = t
+	}
+	return t, nil
+}
+
+// Begin reserves an in-flight ingestion slot for the tenant. The
+// returned release func must be called exactly once when the job ends,
+// success or not.
+func (q *Quotas) Begin(name string) (release func(), err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t, err := q.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if t.inFlight >= q.cfg.MaxInFlight {
+		q.rejections++
+		return nil, fmt.Errorf("%w: %d ingestion jobs already in flight, cap %d", ErrQuota, t.inFlight, q.cfg.MaxInFlight)
+	}
+	t.inFlight++
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			q.mu.Lock()
+			t.inFlight--
+			q.mu.Unlock()
+		})
+	}, nil
+}
+
+// Charge bills the tenant for storing workload name at bytes of
+// canonical source. charged reports whether this call actually billed
+// (false: the tenant already holds this workload — re-submission is
+// free). A rejected charge leaves the ledger untouched.
+func (q *Quotas) Charge(name, workload string, bytes int64) (charged bool, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t, err := q.lookup(name)
+	if err != nil {
+		return false, err
+	}
+	if _, ok := t.workloads[workload]; ok {
+		return false, nil
+	}
+	if len(t.workloads) >= q.cfg.MaxWorkloads {
+		q.rejections++
+		return false, fmt.Errorf("%w: %d workloads stored, cap %d", ErrQuota, len(t.workloads), q.cfg.MaxWorkloads)
+	}
+	if t.bytes+bytes > q.cfg.MaxSourceBytes {
+		q.rejections++
+		return false, fmt.Errorf("%w: %d source bytes stored + %d requested exceeds the %d cap", ErrQuota, t.bytes, bytes, q.cfg.MaxSourceBytes)
+	}
+	t.workloads[workload] = bytes
+	t.bytes += bytes
+	return true, nil
+}
+
+// Refund reverses a Charge, freeing the tenant's claim on workload.
+// Used when ingestion fails after billing (the workload never became
+// servable). Refunding an uncharged workload is a no-op.
+func (q *Quotas) Refund(name, workload string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t, ok := q.tenants[name]
+	if !ok {
+		return
+	}
+	if bytes, ok := t.workloads[workload]; ok {
+		delete(t.workloads, workload)
+		t.bytes -= bytes
+	}
+}
+
+// QuotaStats is the aggregate view exported via /metrics.
+type QuotaStats struct {
+	Tenants         int   `json:"tenants"`
+	StoredWorkloads int   `json:"stored_workloads"`
+	StoredBytes     int64 `json:"stored_bytes"`
+	InFlight        int   `json:"in_flight"`
+	Rejections      int64 `json:"rejections"`
+}
+
+// Stats returns the current aggregate consumption.
+func (q *Quotas) Stats() QuotaStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	s := QuotaStats{Tenants: len(q.tenants), Rejections: q.rejections}
+	for _, t := range q.tenants {
+		s.StoredWorkloads += len(t.workloads)
+		s.StoredBytes += t.bytes
+		s.InFlight += t.inFlight
+	}
+	return s
+}

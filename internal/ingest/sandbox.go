@@ -1,0 +1,48 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/funcsim"
+	"repro/internal/harness"
+	"repro/internal/program"
+)
+
+// Profile runs an untrusted program to completion inside the sandbox
+// walls and returns its profiled workload, exactly the shape the
+// harness pool and artifact store consume. minDyn is the service's
+// dynamic-instruction scaling floor (0 = one run); profiling stops
+// with ErrBudget if the floor cannot be met inside lim.MaxDynInsts.
+//
+// Failure classification (all errors.Is-able):
+//
+//   - instruction cap or wall-clock deadline hit → ErrBudget
+//   - out-of-bounds access, runaway PC, zero work, recovered panic →
+//     ErrRuntime
+//   - the caller's own ctx ended → its ctx.Err(), unwrapped, so the
+//     service's lifecycle taxonomy (cancelled/deadline_exceeded) still
+//     wins for request-level causes.
+func Profile(ctx context.Context, p *program.Program, minDyn int64, lim Limits) (*harness.Profiled, error) {
+	lim = lim.WithDefaults()
+	rctx, cancel := context.WithTimeout(ctx, lim.MaxRunTime)
+	defer cancel()
+	pw, err := harness.ProfileProgramSandboxedCtx(rctx, p, minDyn, lim.MaxDynInsts)
+	if err == nil {
+		return pw, nil
+	}
+	switch {
+	case ctx.Err() != nil:
+		// The request itself died (disconnect, endpoint deadline):
+		// report that, not a sandbox verdict.
+		return nil, ctx.Err()
+	case errors.Is(err, funcsim.ErrMaxInstructions):
+		return nil, fmt.Errorf("%w: dynamic instructions over the %d cap: %w", ErrBudget, lim.MaxDynInsts, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		// rctx's deadline, not the caller's: the wall-clock budget.
+		return nil, fmt.Errorf("%w: ran past the %v wall-clock budget", ErrBudget, lim.MaxRunTime)
+	default:
+		return nil, fmt.Errorf("%w: %w", ErrRuntime, err)
+	}
+}

@@ -1,0 +1,49 @@
+package program
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBuildMemoryLimits: Build must reject resource-bomb memory claims
+// and out-of-range data initializers by arithmetic, before anything
+// downstream allocates proportionally to them.
+func TestBuildMemoryLimits(t *testing.T) {
+	t.Run("negative memory", func(t *testing.T) {
+		p := New("t", -1)
+		p.Block("m").Halt()
+		if _, err := p.Build(); err == nil || !strings.Contains(err.Error(), "negative") {
+			t.Errorf("err = %v, want negative-memory error", err)
+		}
+	})
+	t.Run("memory over ceiling", func(t *testing.T) {
+		p := New("t", MaxMemWords+1)
+		p.Block("m").Halt()
+		if _, err := p.Build(); err == nil || !strings.Contains(err.Error(), "ceiling") {
+			t.Errorf("err = %v, want ceiling error", err)
+		}
+	})
+	t.Run("ceiling itself is fine", func(t *testing.T) {
+		p := New("t", MaxMemWords)
+		p.Block("m").Halt()
+		if _, err := p.Build(); err != nil {
+			t.Errorf("exact-ceiling program rejected: %v", err)
+		}
+	})
+	t.Run("data beyond memory", func(t *testing.T) {
+		p := New("t", 16)
+		p.SetData(16, 1)
+		p.Block("m").Halt()
+		if _, err := p.Build(); err == nil || !strings.Contains(err.Error(), "outside memory") {
+			t.Errorf("err = %v, want out-of-range data error", err)
+		}
+	})
+	t.Run("negative data address", func(t *testing.T) {
+		p := New("t", 16)
+		p.SetData(-1, 1)
+		p.Block("m").Halt()
+		if _, err := p.Build(); err == nil || !strings.Contains(err.Error(), "outside memory") {
+			t.Errorf("err = %v, want out-of-range data error", err)
+		}
+	})
+}

@@ -44,6 +44,14 @@ type Block struct {
 	TripMultiple int64
 }
 
+// MaxMemWords is the absolute data-memory ceiling any program may
+// declare: 1<<26 words (512 MiB of int64 data). Build and funcsim.New
+// reject anything larger, so a hostile ".mem 1<<40" directive fails
+// with a descriptive error instead of an allocation that kills the
+// process. The built-in workload suite peaks around 2^19 words; the
+// ingestion path applies far tighter, configurable limits on top.
+const MaxMemWords = 1 << 26
+
 // Program is a complete IR program.
 type Program struct {
 	Name   string
@@ -142,6 +150,19 @@ func (p *Program) StaticLen() int {
 func (p *Program) Build() ([]isa.Instr, error) {
 	if len(p.Blocks) == 0 {
 		return nil, fmt.Errorf("program %q: no blocks", p.Name)
+	}
+	if p.MemWords < 0 {
+		return nil, fmt.Errorf("program %q: negative memory size %d", p.Name, p.MemWords)
+	}
+	if p.MemWords > MaxMemWords {
+		return nil, fmt.Errorf("program %q: memory size %d words exceeds the %d-word ceiling", p.Name, p.MemWords, int64(MaxMemWords))
+	}
+	if p.MemWords > 0 {
+		for a := range p.Data {
+			if a < 0 || a >= p.MemWords {
+				return nil, fmt.Errorf("program %q: data init address %d outside memory [0,%d)", p.Name, a, p.MemWords)
+			}
+		}
 	}
 	addr := make(map[string]int, len(p.Blocks))
 	n := 0

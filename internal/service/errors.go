@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net/http"
 
+	"repro/internal/ingest"
 	"repro/internal/par"
 )
 
@@ -21,6 +22,13 @@ const (
 	codeCancelled    = "cancelled"         // 503: the client went away mid-request
 	codeDeadline     = "deadline_exceeded" // 503: the per-endpoint deadline elapsed
 	codeShuttingDown = "shutting_down"     // 503: queued behind a draining server
+
+	// Ingestion codes (POST /v1/workloads and the shared body cap).
+	codePayloadTooLarge = "payload_too_large" // 413: body or source over the byte cap
+	codeInvalidProgram  = "invalid_program"   // 400: submission failed parse/structural limits
+	codeBudgetExceeded  = "budget_exceeded"   // 422: submission blew its execution budget
+	codeExecFailed      = "execution_failed"  // 422: submission faulted while executing
+	codeQuotaExceeded   = "quota_exceeded"    // 429: tenant over a storage/concurrency quota
 )
 
 // codeStatus maps taxonomy codes to their HTTP statuses.
@@ -33,6 +41,12 @@ var codeStatus = map[string]int{
 	codeCancelled:    http.StatusServiceUnavailable,
 	codeDeadline:     http.StatusServiceUnavailable,
 	codeShuttingDown: http.StatusServiceUnavailable,
+
+	codePayloadTooLarge: http.StatusRequestEntityTooLarge,
+	codeInvalidProgram:  http.StatusBadRequest,
+	codeBudgetExceeded:  http.StatusUnprocessableEntity,
+	codeExecFailed:      http.StatusUnprocessableEntity,
+	codeQuotaExceeded:   http.StatusTooManyRequests,
 }
 
 // classify maps an error to its taxonomy code. Lifecycle errors —
@@ -40,6 +54,23 @@ var codeStatus = map[string]int{
 // handler's fallback, because they can surface from any depth of the
 // compute stack wrapped in arbitrary context.
 func classify(err error, fallback string) string {
+	// Ingestion verdicts come first: the sandbox has already separated
+	// the submission's own budget overrun (ErrBudget) from the request's
+	// lifecycle (raw ctx.Err()), so a wall-clock-killed program must not
+	// be re-filed under deadline_exceeded below.
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooBig), errors.Is(err, ingest.ErrTooLarge):
+		return codePayloadTooLarge
+	case errors.Is(err, ingest.ErrQuota):
+		return codeQuotaExceeded
+	case errors.Is(err, ingest.ErrBudget):
+		return codeBudgetExceeded
+	case errors.Is(err, ingest.ErrRuntime):
+		return codeExecFailed
+	case errors.Is(err, ingest.ErrInvalid):
+		return codeInvalidProgram
+	}
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		return codeDeadline

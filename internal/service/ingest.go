@@ -1,0 +1,149 @@
+package service
+
+import (
+	"context"
+	"io"
+	"net/http"
+
+	"repro/internal/asm"
+	"repro/internal/harness"
+	"repro/internal/ingest"
+	"repro/internal/program"
+)
+
+// TenantHeader names the request header carrying the submitter's
+// identity. Absent means ingest.DefaultTenant: anonymous submitters
+// share one quota bucket instead of minting a fresh one per request.
+const TenantHeader = "X-Tenant"
+
+// tenantOf extracts and normalizes the request's tenant identity.
+func tenantOf(r *http.Request) (string, error) {
+	return ingest.CleanTenant(r.Header.Get(TenantHeader))
+}
+
+// IngestResponse answers POST /v1/workloads. Name is usable anywhere a
+// built-in benchmark name is: /v1/predict, /v1/explore, /v1/workloads.
+type IngestResponse struct {
+	Name         string `json:"name"`         // content-addressed workload name
+	Fingerprint  string `json:"fingerprint"`  // full program fingerprint
+	Instructions int64  `json:"instructions"` // dynamic instructions profiled
+	SourceBytes  int    `json:"source_bytes"` // canonical source size (what quotas bill)
+	Created      bool   `json:"created"`      // first registration of this content
+	Stored       bool   `json:"stored"`       // canonical source persisted for warm restart
+	Resident     bool   `json:"resident"`     // profiled workload resident in memory
+	Tenant       string `json:"tenant"`
+}
+
+// handleIngest serves POST /v1/workloads: untrusted assembly text in
+// the body becomes a profiled, predictable workload — or a typed
+// rejection. The gauntlet, in order of increasing cost:
+//
+//  1. tenant normalization and the shared request-body byte cap
+//  2. static source/structural limits (ingest.Parse)
+//  3. per-tenant quotas: an in-flight slot for the whole job, then a
+//     storage charge keyed by the content-derived name (idempotent —
+//     re-submitting held content is free; failures refund)
+//  4. sandboxed profiling through the workload pool: concurrent
+//     duplicate submissions singleflight onto one run, content already
+//     in the artifact store rehydrates with zero execution, and a
+//     fresh run is budget-capped, deadline-polled, panic-contained
+//
+// Success registers the canonical source so the workload survives a
+// restart (201 on first registration, 200 for duplicates).
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s.ingSubmitted.Add(1)
+	resp, status, err, fallback := s.ingestOne(r)
+	if err != nil {
+		s.ingRejected.Add(1)
+		s.writeErr(w, err, fallback)
+		return
+	}
+	s.ingAccepted.Add(1)
+	s.writeJSONStatus(w, status, resp)
+}
+
+// ingestOne runs one submission through the gauntlet, returning either
+// a response with its HTTP status or an error with its fallback code.
+func (s *Server) ingestOne(r *http.Request) (*IngestResponse, int, error, string) {
+	tenant, err := tenantOf(r)
+	if err != nil {
+		return nil, 0, err, codeBadRequest
+	}
+	// The shared MaxBytesReader cap (see count) surfaces here as
+	// *http.MaxBytesError → payload_too_large.
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return nil, 0, err, codeBadRequest
+	}
+	src := string(body)
+	lim := s.cfg.Ingest
+	if err := ingest.CheckSource(src, lim); err != nil {
+		return nil, 0, err, codeBadRequest
+	}
+
+	// Reserve the tenant's in-flight slot for everything that follows —
+	// parsing included, so a tenant cannot parallelize parse bombs any
+	// wider than profiling runs.
+	release, err := s.quotas.Begin(tenant)
+	if err != nil {
+		return nil, 0, err, codeQuotaExceeded
+	}
+	defer release()
+
+	prog, err := ingest.Parse(src, lim)
+	if err != nil {
+		return nil, 0, err, codeInvalidProgram
+	}
+	fp := prog.Fingerprint()
+	name := ingest.WorkloadName(fp)
+	canon := asm.Disassemble(prog)
+
+	// Bill storage before profiling: quota rejections must cost the
+	// server parsing, never a profiling run.
+	charged, err := s.quotas.Charge(tenant, name, int64(len(canon)))
+	if err != nil {
+		return nil, 0, err, codeQuotaExceeded
+	}
+
+	pw, err := s.pool.GetBuiltCtx(r.Context(), name,
+		func() *program.Program { return prog },
+		func(wctx context.Context, p *program.Program) (*harness.Profiled, error) {
+			n, err := s.queue.Acquire(wctx, 1)
+			if err != nil {
+				return nil, err
+			}
+			defer s.budget.Release(n)
+			pw, err := ingest.Profile(wctx, p, s.cfg.MinDynInsts, lim)
+			if err != nil {
+				return nil, err
+			}
+			// The program was assembled under the canonical content name;
+			// the resident entry answers to the public one.
+			pw.Name = name
+			return pw, nil
+		})
+	if err != nil {
+		// The workload never became servable; undo this tenant's bill.
+		if charged {
+			s.quotas.Refund(tenant, name)
+		}
+		return nil, 0, err, codeInternal
+	}
+
+	entry, created := s.registry.Add(prog, canon)
+	status := http.StatusOK
+	if created {
+		s.ingCreated.Add(1)
+		status = http.StatusCreated
+	}
+	return &IngestResponse{
+		Name:         name,
+		Fingerprint:  fp,
+		Instructions: pw.Prof.N,
+		SourceBytes:  len(canon),
+		Created:      created,
+		Stored:       entry.Stored,
+		Resident:     s.pool.Resident(name),
+		Tenant:       tenant,
+	}, status, nil, ""
+}

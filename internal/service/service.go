@@ -29,10 +29,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"path/filepath"
+
 	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/dse"
 	"repro/internal/harness"
+	"repro/internal/ingest"
 	"repro/internal/par"
 	"repro/internal/power"
 	"repro/internal/program"
@@ -105,29 +108,50 @@ type Config struct {
 	// default (30s).
 	StoreCooldown time.Duration
 
+	// MaxBodyBytes caps every request body via http.MaxBytesReader
+	// (reads past it fail and answer 413 payload_too_large). 0 means
+	// the 2 MiB default; negative disables the cap. This is the coarse
+	// transport wall; the ingestion source-byte limit below is the
+	// precise one.
+	MaxBodyBytes int64
+	// Ingest bounds one POST /v1/workloads submission; zero fields
+	// take ingest.DefaultLimits.
+	Ingest ingest.Limits
+	// Quota bounds each tenant's ingestion footprint; zero fields take
+	// ingest.DefaultQuota.
+	Quota ingest.QuotaConfig
+
 	// Hooks are chaos-test injection points; zero in production.
 	Hooks Hooks
 }
 
 // Server serves the modeld API. Create with New and mount Handler.
 type Server struct {
-	cfg    Config
-	pool   *harness.Pool
-	store  *artifact.Store
-	guard  *storeGuard
-	budget *par.Budget
-	queue  *par.Queue
-	pm     power.Model
-	mux    *http.ServeMux
+	cfg      Config
+	pool     *harness.Pool
+	store    *artifact.Store
+	guard    *storeGuard
+	budget   *par.Budget
+	queue    *par.Queue
+	pm       power.Model
+	mux      *http.ServeMux
+	registry *ingest.Registry
+	quotas   *ingest.Quotas
 
 	reqPredict   atomic.Int64
 	reqExplore   atomic.Int64
 	reqWorkloads atomic.Int64
 	reqArtifacts atomic.Int64
+	reqIngest    atomic.Int64
 	reqHealth    atomic.Int64
 	reqMetrics   atomic.Int64
 	errCount     atomic.Int64
 	inFlight     atomic.Int64
+
+	ingSubmitted atomic.Int64
+	ingAccepted  atomic.Int64
+	ingCreated   atomic.Int64
+	ingRejected  atomic.Int64
 
 	cancelled        atomic.Int64
 	deadlineExceeded atomic.Int64
@@ -155,9 +179,17 @@ func (s *Server) workloadID(spec workloads.Spec) artifact.WorkloadID {
 	return id
 }
 
+// DefaultMaxBodyBytes is the request-body cap applied when
+// Config.MaxBodyBytes is zero.
+const DefaultMaxBodyBytes = 2 << 20
+
 // New builds a Server with the given bounds, opening the artifact
 // store when one is configured.
 func New(cfg Config) (*Server, error) {
+	// Normalize the ingestion posture once so the handler, registry,
+	// and flags all enforce the same numbers.
+	cfg.Ingest = cfg.Ingest.WithDefaults()
+	cfg.Quota = cfg.Quota.WithDefaults()
 	var store *artifact.Store
 	var guard *storeGuard
 	if cfg.ArtifactDir != "" {
@@ -191,15 +223,29 @@ func New(cfg Config) (*Server, error) {
 	if guard != nil {
 		poolOpts.Store = guard
 	}
+	// The ingestion registry persists alongside the artifact store (an
+	// "ingest" subdirectory) so both survive the same restarts; without
+	// a store it is memory-only and ingested workloads live until the
+	// process does.
+	regDir := ""
+	if cfg.ArtifactDir != "" {
+		regDir = filepath.Join(cfg.ArtifactDir, "ingest")
+	}
+	registry, err := ingest.OpenRegistry(regDir, cfg.Ingest)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
-		cfg:    cfg,
-		store:  store,
-		guard:  guard,
-		pool:   harness.NewPool(poolOpts),
-		budget: budget,
-		queue:  par.NewQueue(budget, cfg.QueueDepth, cfg.QueueWait),
-		pm:     power.NewModel(),
-		mux:    http.NewServeMux(),
+		cfg:      cfg,
+		store:    store,
+		guard:    guard,
+		pool:     harness.NewPool(poolOpts),
+		budget:   budget,
+		queue:    par.NewQueue(budget, cfg.QueueDepth, cfg.QueueWait),
+		pm:       power.NewModel(),
+		mux:      http.NewServeMux(),
+		registry: registry,
+		quotas:   ingest.NewQuotas(cfg.Quota),
 	}
 	if s.cfg.ExploreWorkers <= 0 {
 		s.cfg.ExploreWorkers = s.budget.Cap() / 2
@@ -210,6 +256,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/predict", s.count(&s.reqPredict, s.handlePredict))
 	s.mux.HandleFunc("GET /v1/explore", s.count(&s.reqExplore, s.handleExplore))
 	s.mux.HandleFunc("GET /v1/workloads", s.count(&s.reqWorkloads, s.handleWorkloads))
+	s.mux.HandleFunc("POST /v1/workloads", s.count(&s.reqIngest, s.handleIngest))
 	s.mux.HandleFunc("GET /v1/artifacts", s.count(&s.reqArtifacts, s.handleArtifacts))
 	s.mux.HandleFunc("GET /healthz", s.count(&s.reqHealth, s.handleHealth))
 	s.mux.HandleFunc("GET /metrics", s.count(&s.reqMetrics, s.handleMetrics))
@@ -242,7 +289,36 @@ func (s *Server) WarmStart() (int, error) {
 		}
 		loaded++
 	}
+	// Ingested workloads warm-start the same way: the registry restored
+	// their names and programs, and any whose artifact is stored
+	// rehydrate without re-executing untrusted code.
+	for _, entry := range s.registry.List() {
+		if s.cfg.MaxWorkloads > 0 && loaded >= s.cfg.MaxWorkloads {
+			break
+		}
+		if !s.store.HasWorkload(s.ingestedID(entry)) {
+			continue
+		}
+		if _, _, err := s.profiled(context.Background(), entry.Name); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("warm-starting %s: %w", entry.Name, err)
+			}
+			continue
+		}
+		loaded++
+	}
 	return loaded, firstErr
+}
+
+// ingestedID returns the artifact identity of an ingested workload —
+// the same shape GetBuiltCtx derives during admission, so warm-start
+// residency checks and admissions agree on the key.
+func (s *Server) ingestedID(entry *ingest.Entry) artifact.WorkloadID {
+	return artifact.WorkloadID{
+		Name:        entry.Name,
+		MinDynInsts: s.cfg.MinDynInsts,
+		Code:        entry.Fingerprint,
+	}
 }
 
 // Handler returns the service's HTTP handler.
@@ -259,10 +335,22 @@ func (s *Server) Pool() *harness.Pool { return s.pool }
 // termination signal arrives, before shutting the listener down.
 func (s *Server) BeginShutdown() { s.queue.Close() }
 
+// maxBodyBytes resolves the configured request-body cap; 0 means
+// uncapped (explicitly disabled with a negative config value).
+func (s *Server) maxBodyBytes() int64 {
+	switch {
+	case s.cfg.MaxBodyBytes > 0:
+		return s.cfg.MaxBodyBytes
+	case s.cfg.MaxBodyBytes < 0:
+		return 0
+	}
+	return DefaultMaxBodyBytes
+}
+
 // count is the per-endpoint middleware: request counting, in-flight
-// tracking, the chaos hook, and panic recovery — a panicking handler
-// answers 500 {"error":{"code":"panic"}} and bumps a counter instead
-// of killing the process.
+// tracking, the shared body cap, the chaos hook, and panic recovery —
+// a panicking handler answers 500 {"error":{"code":"panic"}} and bumps
+// a counter instead of killing the process.
 func (s *Server) count(c *atomic.Int64, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		c.Add(1)
@@ -274,6 +362,12 @@ func (s *Server) count(c *atomic.Int64, h http.HandlerFunc) http.HandlerFunc {
 				s.writeErr(w, fmt.Errorf("handler panicked: %v", v), codePanic)
 			}
 		}()
+		// Every handler reads its body (if any) under one cap: a read
+		// past it fails with *http.MaxBytesError, which writeErr turns
+		// into 413 payload_too_large.
+		if max := s.maxBodyBytes(); max > 0 && r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, max)
+		}
 		if s.cfg.Hooks.BeforeHandle != nil {
 			s.cfg.Hooks.BeforeHandle(r)
 		}
@@ -283,6 +377,16 @@ func (s *Server) count(c *atomic.Int64, h http.HandlerFunc) http.HandlerFunc {
 
 func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeJSONStatus is writeJSON with an explicit HTTP status (201 for
+// first-time ingestion registrations).
+func (s *Server) writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
@@ -310,18 +414,41 @@ func deadlineCtx(r *http.Request, d time.Duration) (context.Context, context.Can
 // resident benchmarks are never stalled behind an unrelated profiling
 // queue.
 func (s *Server) profiled(ctx context.Context, name string) (*harness.Profiled, string, error) {
-	spec, err := workloads.ByName(name)
-	if err != nil {
+	var build func() *program.Program
+	var profile func(wctx context.Context, prog *program.Program) (*harness.Profiled, error)
+	if spec, err := workloads.ByName(name); err == nil {
+		build = spec.Build
+		profile = func(wctx context.Context, prog *program.Program) (*harness.Profiled, error) {
+			n, err := s.queue.Acquire(wctx, 1)
+			if err != nil {
+				return nil, err
+			}
+			defer s.budget.Release(n)
+			return harness.ProfileProgramScaledCtx(wctx, prog, s.cfg.MinDynInsts)
+		}
+	} else if entry, ok := s.registry.Lookup(name); ok {
+		// An ingested workload. Evicted (or never-stored) entries
+		// re-profile from the registered program, under the same
+		// sandbox budgets as first submission: registration does not
+		// promote a program to trusted.
+		build = func() *program.Program { return entry.Prog }
+		profile = func(wctx context.Context, prog *program.Program) (*harness.Profiled, error) {
+			n, err := s.queue.Acquire(wctx, 1)
+			if err != nil {
+				return nil, err
+			}
+			defer s.budget.Release(n)
+			pw, err := ingest.Profile(wctx, prog, s.cfg.MinDynInsts, s.cfg.Ingest)
+			if err != nil {
+				return nil, err
+			}
+			pw.Name = name
+			return pw, nil
+		}
+	} else {
 		return nil, codeNotFound, err
 	}
-	pw, err := s.pool.GetBuiltCtx(ctx, name, spec.Build, func(wctx context.Context, prog *program.Program) (*harness.Profiled, error) {
-		n, err := s.queue.Acquire(wctx, 1)
-		if err != nil {
-			return nil, err
-		}
-		defer s.budget.Release(n)
-		return harness.ProfileProgramScaledCtx(wctx, prog, s.cfg.MinDynInsts)
-	})
+	pw, err := s.pool.GetBuiltCtx(ctx, name, build, profile)
 	if err != nil {
 		return nil, codeInternal, err
 	}
@@ -728,6 +855,11 @@ type WorkloadInfo struct {
 	Resident bool   `json:"resident"`
 }
 
+// IngestedDomain is the Domain /v1/workloads reports for ingested
+// (user-submitted) workloads, distinguishing them from the compiled-in
+// benchmark suite.
+const IngestedDomain = "user"
+
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	var out []WorkloadInfo
 	for _, spec := range workloads.All() {
@@ -735,6 +867,13 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 			Name:     spec.Name,
 			Domain:   spec.Domain,
 			Resident: s.pool.Resident(spec.Name),
+		})
+	}
+	for _, entry := range s.registry.List() {
+		out = append(out, WorkloadInfo{
+			Name:     entry.Name,
+			Domain:   IngestedDomain,
+			Resident: s.pool.Resident(entry.Name),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -822,6 +961,15 @@ func (s *Server) handleArtifacts(w http.ResponseWriter, r *http.Request) {
 			Resident: s.pool.Resident(spec.Name),
 		})
 	}
+	for _, entry := range s.registry.List() {
+		id := s.ingestedID(entry)
+		resp.Workloads = append(resp.Workloads, ArtifactWorkload{
+			Name:     entry.Name,
+			Key:      s.store.WorkloadKey(id),
+			Stored:   s.store.HasWorkload(id),
+			Resident: s.pool.Resident(entry.Name),
+		})
+	}
 	sort.Slice(resp.Workloads, func(i, j int) bool { return resp.Workloads[i].Name < resp.Workloads[j].Name })
 	s.writeJSON(w, resp)
 }
@@ -851,6 +999,16 @@ type Metrics struct {
 		Trips    int64 `json:"store_trips"`
 		Degraded bool  `json:"store_degraded"`
 	} `json:"store"`
+	Ingest struct {
+		Submitted          int64             `json:"submitted"`
+		Accepted           int64             `json:"accepted"`
+		Created            int64             `json:"created"`
+		Rejected           int64             `json:"rejected"`
+		Registered         int               `json:"registered"`
+		RegistryLoadErrors int64             `json:"registry_load_errors"`
+		RegistrySaveErrors int64             `json:"registry_save_errors"`
+		Quota              ingest.QuotaStats `json:"quota"`
+	} `json:"ingest"`
 	PlaneBudgetBytes int64 `json:"plane_budget_bytes"`
 }
 
@@ -863,6 +1021,7 @@ func (s *Server) MetricsSnapshot() Metrics {
 			"explore":   s.reqExplore.Load(),
 			"workloads": s.reqWorkloads.Load(),
 			"artifacts": s.reqArtifacts.Load(),
+			"ingest":    s.reqIngest.Load(),
 			"healthz":   s.reqHealth.Load(),
 			"metrics":   s.reqMetrics.Load(),
 		},
@@ -886,6 +1045,14 @@ func (s *Server) MetricsSnapshot() Metrics {
 		m.Store.Trips = s.guard.Trips()
 		m.Store.Degraded = s.guard.Degraded()
 	}
+	m.Ingest.Submitted = s.ingSubmitted.Load()
+	m.Ingest.Accepted = s.ingAccepted.Load()
+	m.Ingest.Created = s.ingCreated.Load()
+	m.Ingest.Rejected = s.ingRejected.Load()
+	m.Ingest.Registered = s.registry.Len()
+	m.Ingest.RegistryLoadErrors = s.registry.LoadErrors()
+	m.Ingest.RegistrySaveErrors = s.registry.SaveErrors()
+	m.Ingest.Quota = s.quotas.Stats()
 	return m
 }
 

@@ -57,7 +57,8 @@ if go build -o "${TMPDIR:-/tmp}/bench-modeld" ./cmd/modeld; then
   # cancel into; -workers 1 makes one request enough to exhaust the pot.
   bport="${BENCH_MODELD_PORT:-18123}"
   "${TMPDIR:-/tmp}/bench-modeld" -addr "127.0.0.1:$bport" \
-    -workers 1 -queue-wait 50ms -predict-timeout 5ms -dyninsts 50000000 >&2 &
+    -workers 1 -queue-wait 50ms -predict-timeout 5ms -dyninsts 50000000 \
+    -quota-workloads 1 >&2 &
   mpid=$!
   for _ in $(seq 1 50); do
     curl -fsS "http://127.0.0.1:$bport/healthz" > /dev/null 2>&1 && break
@@ -78,6 +79,29 @@ if go build -o "${TMPDIR:-/tmp}/bench-modeld" ./cmd/modeld; then
   sleep 0.1
   curl -s "http://127.0.0.1:$bport/v1/explore?bench=sha" > /dev/null || true
   wait "$cpid" || true
+  # Ingestion probe: submit a tiny untrusted program, predict it by the
+  # content-addressed name the server returns, then trip the per-tenant
+  # workload quota (-quota-workloads 1) with a second, different program
+  # — exercising accept, serve, and quota-reject in one pass.
+  echo "probing workload ingestion (submit/predict/quota-reject)..." >&2
+  ing_src=$'.mem 64\nmain:\n li r1, 0\n li r2, 100\n li r3, 0\nloop:\n add r3, r3, r1\n addi r1, r1, 1\n blt r1, r2, loop\nend:\n st r3, 0x10(r0)\n halt\n'
+  ing_src2=$'.mem 64\nmain:\n li r1, 0\n li r2, 50\n li r3, 0\nloop:\n add r3, r3, r1\n addi r1, r1, 1\n blt r1, r2, loop\nend:\n st r3, 0x10(r0)\n halt\n'
+  # The abandoned shed-probe exploration above may still hold the
+  # single worker token for a beat after its client vanished; retry the
+  # submission briefly so it isn't itself shed by the 50ms queue-wait.
+  ing_name=""
+  for _ in $(seq 1 10); do
+    ing_name="$(curl -s -H 'X-Tenant: bench' --data-binary "$ing_src" \
+      "http://127.0.0.1:$bport/v1/workloads" \
+      | sed -n 's/.*"name": *"\([^"]*\)".*/\1/p' | head -1)" || true
+    [[ -n "$ing_name" ]] && break
+    sleep 0.2
+  done
+  if [[ -n "$ing_name" ]]; then
+    curl -s "http://127.0.0.1:$bport/v1/predict?bench=$ing_name" > /dev/null || true
+  fi
+  curl -s -H 'X-Tenant: bench' --data-binary "$ing_src2" \
+    "http://127.0.0.1:$bport/v1/workloads" > /dev/null || true
   curl -fsS "http://127.0.0.1:$bport/metrics" > "$robust" 2> /dev/null || true
   kill "$mpid" 2> /dev/null || true
   wait "$mpid" 2> /dev/null || true
@@ -137,6 +161,7 @@ try:
     doc["robustness"] = {
         "lifecycle": m.get("lifecycle"),
         "store": m.get("store"),
+        "ingest": m.get("ingest"),
     }
 except (OSError, ValueError):
     pass
