@@ -6,6 +6,11 @@
 // annotated once per distinct cache hierarchy and branch predictor;
 // each point is then a timing-only replay).
 //
+// -space selects a typed parameter domain (table2 or the 3072-point
+// extended space), and -search switches from the exhaustive sweep to
+// the deterministic Pareto-aware heuristic search (-budget evaluations
+// from -seed), rendering the delay/EDP frontier.
+//
 // Usage:
 //
 //	dse-explore -bench gsm_c
@@ -13,9 +18,11 @@
 //	dse-explore -bench sha -validate -top 10
 //	dse-explore -bench dijkstra -validate -cpuprofile cpu.pprof
 //	dse-explore -bench gsm_c -validate -artifact-dir ~/.cache/repro-artifacts
+//	dse-explore -bench crc32 -space extended -search -budget 768 -seed 1
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -47,6 +54,10 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 		artDir   = flag.String("artifact-dir", "", "persistent artifact store directory: profiling and annotation results are reused across runs, bit-identically (empty = disabled)")
 		replay   = flag.String("replay", "batch", "detailed-replay kernel: batch (config-parallel, whole space per chunk pass) or scalar (one replay per design point, for bisection)")
+		space    = flag.String("space", "table2", "design space to explore: table2 or extended")
+		search   = flag.Bool("search", false, "heuristic Pareto search over the space instead of the exhaustive sweep")
+		budget   = flag.Int("budget", 0, "search evaluation budget (0 = default, always clamped to the space cardinality)")
+		seed     = flag.Int64("seed", 0, "search random seed; equal seeds reproduce the run exactly")
 	)
 	flag.Parse()
 	par.SetDefault(*workers)
@@ -67,7 +78,16 @@ func main() {
 		}
 	}
 
-	space := dse.Space(uarch.Default())
+	domain, err := uarch.DomainByName(*space)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cfgs []uarch.Config
+	if !*search {
+		if cfgs, err = dse.SpaceFrom(domain, uarch.Default()); err != nil {
+			log.Fatal(err)
+		}
+	}
 	pm := power.NewModel()
 	for _, name := range strings.Split(*bench, ",") {
 		name = strings.TrimSpace(name)
@@ -78,7 +98,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("==== %s: %d design points ====\n", name, len(space))
+		fmt.Printf("==== %s: %s space, %d design points ====\n", name, domain.Name, domain.Cardinality())
 		t0 := time.Now()
 		pw, fromDisk, err := harness.ProfileProgramCached(store, spec.Name, 0, spec.Build)
 		if err != nil {
@@ -91,11 +111,27 @@ func main() {
 		fmt.Printf("%s %d instructions in %v\n", verb, pw.Trace.Len(), time.Since(t0).Round(time.Millisecond))
 
 		t1 := time.Now()
+		if *search {
+			res, err := dse.Search(context.Background(), pw, domain, uarch.Default(), pm, dse.SearchOptions{
+				Budget:   *budget,
+				Seed:     *seed,
+				Validate: *validate,
+				Workers:  *workers,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("searched in %v (%s)\n", time.Since(t1).Round(time.Millisecond), mode(*validate))
+			fmt.Printf("search summary: evaluated=%d generations=%d stats_replays=%d front=%d cardinality=%d\n",
+				res.Evaluated, res.Generations, res.Replays, len(res.Front), domain.Cardinality())
+			renderFront(os.Stdout, res.Front, *validate)
+			continue
+		}
 		var pts []dse.Point
 		if *validate {
-			pts, err = dse.ExploreValidated(pw, space, pm, *workers)
+			pts, err = dse.ExploreValidated(pw, cfgs, pm, *workers)
 		} else {
-			pts, err = dse.Explore(pw, space, pm)
+			pts, err = dse.Explore(pw, cfgs, pm)
 		}
 		if err != nil {
 			log.Fatal(err)
@@ -159,6 +195,32 @@ func render(w io.Writer, pts []dse.Point, top int, validated bool) {
 		}
 		fmt.Fprintf(w, "model accuracy over the space: avg err %.2f%%, max %.2f%%\n",
 			100*sum/float64(len(pts)), 100*max)
+	}
+	fmt.Fprintln(w)
+}
+
+// renderFront prints the delay/EDP Pareto frontier recovered by the
+// heuristic search, in domain enumeration order (fastest first).
+func renderFront(w io.Writer, front []dse.Point, validated bool) {
+	if len(front) == 0 {
+		fmt.Fprintln(w, "no frontier to report (nothing evaluated)")
+		return
+	}
+	fmt.Fprintf(w, "%-44s %10s %12s %12s", "Pareto frontier (delay vs EDP)", "modelCPI", "seconds", "modelEDP")
+	if validated {
+		fmt.Fprintf(w, " %10s %12s", "simCPI", "simEDP")
+	}
+	fmt.Fprintln(w)
+	for _, p := range front {
+		secs, edp := p.ModelSecs, p.ModelEDP
+		if p.Sim != nil {
+			secs, edp = p.SimSecs, p.SimEDP
+		}
+		fmt.Fprintf(w, "%-44s %10.4f %12.4e %12.4e", p.Cfg.Name, p.ModelCPI, secs, edp)
+		if validated {
+			fmt.Fprintf(w, " %10.4f %12.4e", p.SimCPI, p.SimEDP)
+		}
+		fmt.Fprintln(w)
 	}
 	fmt.Fprintln(w)
 }

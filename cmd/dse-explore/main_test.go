@@ -33,3 +33,27 @@ func TestRenderNegativeTop(t *testing.T) {
 		}
 	}
 }
+
+// TestRenderFront covers the search-mode frontier table: empty fronts
+// report cleanly, model-only fronts print model numbers, and validated
+// fronts switch the delay/EDP columns to simulated values.
+func TestRenderFront(t *testing.T) {
+	var b strings.Builder
+	renderFront(&b, nil, false)
+	if !strings.Contains(b.String(), "no frontier") {
+		t.Fatalf("empty front output %q lacks a clear message", b.String())
+	}
+
+	cfg := uarch.Default()
+	cfg.Name = "pt-a"
+	front := []dse.Point{{Cfg: cfg, ModelCPI: 1.5, ModelSecs: 2e-4, ModelEDP: 3e-8}}
+	b.Reset()
+	renderFront(&b, front, false)
+	out := b.String()
+	if !strings.Contains(out, "Pareto frontier") || !strings.Contains(out, "pt-a") {
+		t.Fatalf("front output %q lacks the frontier table", out)
+	}
+	if !strings.Contains(out, "3.0000e-08") {
+		t.Fatalf("front output %q lacks the model EDP", out)
+	}
+}

@@ -12,10 +12,12 @@
 //	inorder-model -bench sha -dyninsts 5000000
 //	inorder-model -bench sha -validate -cpuprofile cpu.pprof
 //	inorder-model -bench sha -artifact-dir ~/.cache/repro-artifacts
+//	inorder-model -bench sha -search -space extended -budget 512 -seed 1
 //	inorder-model -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -26,9 +28,11 @@ import (
 
 	"repro/internal/artifact"
 	"repro/internal/core"
+	"repro/internal/dse"
 	"repro/internal/harness"
 	"repro/internal/par"
 	"repro/internal/pipeline"
+	"repro/internal/power"
 	"repro/internal/proftool"
 	"repro/internal/uarch"
 	"repro/internal/workloads"
@@ -52,6 +56,10 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 		artDir   = flag.String("artifact-dir", "", "persistent artifact store directory: profiling results are reused across runs, bit-identically (empty = disabled)")
 		replay   = flag.String("replay", "batch", "detailed-replay kernel for -validate: batch (config-parallel) or scalar (per-point, for bisection)")
+		space    = flag.String("space", "table2", "design space for -search: table2 or extended")
+		search   = flag.Bool("search", false, "run the Pareto-aware heuristic search over -space instead of predicting one design point")
+		budget   = flag.Int("budget", 0, "search evaluation budget (0 = default, clamped to the space cardinality)")
+		seed     = flag.Int64("seed", 0, "search random seed; equal seeds reproduce the run exactly")
 	)
 	flag.Parse()
 	par.SetDefault(*workers)
@@ -77,6 +85,40 @@ func main() {
 		for _, s := range workloads.All() {
 			fmt.Printf("%-16s %s\n", s.Name, s.Domain)
 		}
+		return
+	}
+
+	if *search {
+		// Search mode: instead of one design point, the Pareto-aware
+		// heuristic search over the chosen typed domain, sharing the
+		// dse.Search engine (and its determinism guarantees) with
+		// dse-explore and the modeld service.
+		domain, err := uarch.DomainByName(*space)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pm := power.NewModel()
+		for _, spec := range resolveBenchList(*bench) {
+			fmt.Printf("searching %s over the %s space (%d points) ...\n",
+				spec.Name, domain.Name, domain.Cardinality())
+			pw, _, err := harness.ProfileProgramCached(store, spec.Name, *dyninsts, spec.Build)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := dse.Search(context.Background(), pw, domain, uarch.Default(), pm, dse.SearchOptions{
+				Budget:   *budget,
+				Seed:     *seed,
+				Validate: *validate,
+				Workers:  *workers,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("search summary: evaluated=%d generations=%d stats_replays=%d front=%d cardinality=%d\n",
+				res.Evaluated, res.Generations, res.Replays, len(res.Front), domain.Cardinality())
+			renderFront(os.Stdout, res.Front)
+		}
+		_ = os.Stdout.Sync()
 		return
 	}
 
@@ -208,6 +250,24 @@ func report(w io.Writer, spec workloads.Spec, cfg uarch.Config, validate bool, d
 	}
 	fmt.Fprintln(w)
 	return nil
+}
+
+// renderFront prints the delay/EDP Pareto frontier found by -search,
+// in domain enumeration order (fastest design first).
+func renderFront(w io.Writer, front []dse.Point) {
+	if len(front) == 0 {
+		fmt.Fprintln(w, "no frontier to report (nothing evaluated)")
+		return
+	}
+	fmt.Fprintf(w, "%-44s %10s %12s %12s\n", "Pareto frontier (delay vs EDP)", "modelCPI", "seconds", "modelEDP")
+	for _, p := range front {
+		secs, edp := p.ModelSecs, p.ModelEDP
+		if p.Sim != nil {
+			secs, edp = p.SimSecs, p.SimEDP
+		}
+		fmt.Fprintf(w, "%-44s %10.4f %12.4e %12.4e\n", p.Cfg.Name, p.ModelCPI, secs, edp)
+	}
+	fmt.Fprintln(w)
 }
 
 func abs(x float64) float64 {

@@ -19,46 +19,44 @@ import (
 )
 
 // Space enumerates the Table 2 design space starting from base (whose
-// L1 caches, latencies and TLBs are kept). The domain lists live in
-// internal/uarch, shared with the CLI and service request validators.
+// L1 caches, latencies and TLBs are kept): SpaceFrom over the typed
+// uarch.Table2Domain(), whose axis definitions are shared with the CLI
+// and service request validators. Point names and enumeration order
+// are the historical ones (depth outer, predictor innermost).
 func Space(base uarch.Config) []uarch.Config {
-	var out []uarch.Config
-	widths := uarch.Table2Widths()
-	l2SizesKB := uarch.Table2L2SizesKB()
-	l2Ways := uarch.Table2L2Ways()
-	preds := uarch.Table2Predictors()
-	for _, df := range uarch.DepthFreqPoints() {
-		for _, w := range widths {
-			for _, sz := range l2SizesKB {
-				for _, ways := range l2Ways {
-					for _, pk := range preds {
-						c := base.WithDepth(df).WithWidth(w).WithL2(sz, ways).WithPredictor(pk)
-						c.Name = fmt.Sprintf("d%d-w%d-l2_%dk_%dw-%s", df.Stages, w, sz, ways, pk)
-						out = append(out, c)
-					}
-				}
-			}
-		}
+	out, err := SpaceFrom(uarch.Table2Domain(), base)
+	if err != nil {
+		// The Table 2 domain is constraint-free and every point builds
+		// from any valid base; a failure here is a programming error.
+		panic(fmt.Sprintf("dse: enumerating the Table 2 domain: %v", err))
 	}
 	return out
+}
+
+// SpaceFrom enumerates every valid point of a typed parameter domain
+// starting from base, in deterministic index order (axis 0 slowest).
+func SpaceFrom(d *uarch.Domain, base uarch.Config) ([]uarch.Config, error) {
+	return d.Enumerate(base)
 }
 
 // Point is one evaluated design point.
 type Point struct {
 	Cfg uarch.Config
 
-	ModelStack  *core.Stack
-	ModelCycles float64
-	ModelCPI    float64
-	ModelSecs   float64
-	ModelEDP    float64 // J·s, using model cycles
+	ModelStack   *core.Stack
+	ModelCycles  float64
+	ModelCPI     float64
+	ModelSecs    float64
+	ModelEDP     float64 // J·s, using model cycles
+	ModelEnergyJ float64 // total energy, using model cycles
 
 	// Populated only by ExploreValidated.
-	Sim     *pipeline.Result
-	SimCPI  float64
-	SimSecs float64
-	SimEDP  float64
-	CPIErr  float64 // |model-sim|/sim
+	Sim        *pipeline.Result
+	SimCPI     float64
+	SimSecs    float64
+	SimEDP     float64
+	SimEnergyJ float64
+	CPIErr     float64 // |model-sim|/sim
 }
 
 // Explore evaluates the model on every configuration. A single trace
@@ -81,10 +79,18 @@ func ExploreCtx(ctx context.Context, pw *harness.Profiled, cfgs []uarch.Config, 
 	return explore(memo, cfgs, pm)
 }
 
-func explore(memo *harness.InputsSet, cfgs []uarch.Config, pm power.Model) ([]Point, error) {
+// inputsSource yields the model inputs for one design point. Both
+// harness.InputsSet (whole-space memo) and harness.StatsCache (the
+// search's incremental accumulator) satisfy it; the statistics they
+// hand out are bit-identical for the same trace and configuration.
+type inputsSource interface {
+	Inputs(cfg uarch.Config) (core.Inputs, error)
+}
+
+func explore(src inputsSource, cfgs []uarch.Config, pm power.Model) ([]Point, error) {
 	out := make([]Point, 0, len(cfgs))
 	for _, cfg := range cfgs {
-		in, err := memo.Inputs(cfg)
+		in, err := src.Inputs(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -93,20 +99,44 @@ func explore(memo *harness.InputsSet, cfgs []uarch.Config, pm power.Model) ([]Po
 			return nil, err
 		}
 		ev := power.EventsFrom(in.Prof, in.Mem, in.Branch)
-		edp, err := pm.EDP(ev, cfg, st.Total())
+		obj, err := pm.Objectives(ev, cfg, st.Total())
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, Point{
-			Cfg:         cfg,
-			ModelStack:  st,
-			ModelCycles: st.Total(),
-			ModelCPI:    st.CPI(),
-			ModelSecs:   cfg.Seconds(st.Total()),
-			ModelEDP:    edp,
+			Cfg:          cfg,
+			ModelStack:   st,
+			ModelCycles:  st.Total(),
+			ModelCPI:     st.CPI(),
+			ModelSecs:    obj.DelaySec,
+			ModelEDP:     obj.EDP,
+			ModelEnergyJ: obj.EnergyJ,
 		})
 	}
 	return out, nil
+}
+
+// fillSim fills one point's simulation-side fields from a detailed
+// run, using the same power model and inputs as the model side.
+func fillSim(p *Point, sim pipeline.Result, src inputsSource, pm power.Model) error {
+	in, err := src.Inputs(p.Cfg)
+	if err != nil {
+		return err
+	}
+	ev := power.EventsFrom(in.Prof, in.Mem, in.Branch)
+	obj, err := pm.Objectives(ev, p.Cfg, float64(sim.Cycles))
+	if err != nil {
+		return err
+	}
+	p.Sim = &sim
+	p.SimCPI = sim.CPI()
+	p.SimSecs = obj.DelaySec
+	p.SimEDP = obj.EDP
+	p.SimEnergyJ = obj.EnergyJ
+	if p.SimCPI > 0 {
+		p.CPIErr = abs(p.ModelCPI-p.SimCPI) / p.SimCPI
+	}
+	return nil
 }
 
 // ExploreValidated additionally runs the detailed simulator for every
@@ -154,23 +184,8 @@ func exploreValidatedBatch(ctx context.Context, pw *harness.Profiled, cfgs []uar
 		return nil, err
 	}
 	for i := range pts {
-		p := &pts[i]
-		sim := sims[i]
-		in, err := memo.Inputs(p.Cfg)
-		if err != nil {
+		if err := fillSim(&pts[i], sims[i], memo, pm); err != nil {
 			return nil, err
-		}
-		ev := power.EventsFrom(in.Prof, in.Mem, in.Branch)
-		edp, err := pm.EDP(ev, p.Cfg, float64(sim.Cycles))
-		if err != nil {
-			return nil, err
-		}
-		p.Sim = &sim
-		p.SimCPI = sim.CPI()
-		p.SimSecs = p.Cfg.Seconds(float64(sim.Cycles))
-		p.SimEDP = edp
-		if p.SimCPI > 0 {
-			p.CPIErr = abs(p.ModelCPI-p.SimCPI) / p.SimCPI
 		}
 	}
 	return pts, nil
@@ -192,28 +207,11 @@ func exploreValidatedScalar(ctx context.Context, pw *harness.Profiled, cfgs []ua
 		return nil, err
 	}
 	err = par.ForEachCtx(ctx, workers, len(pts), func(i int) error {
-		p := &pts[i]
-		sim, err := pw.SimulateDetailedCtx(ctx, p.Cfg)
+		sim, err := pw.SimulateDetailedCtx(ctx, pts[i].Cfg)
 		if err != nil {
 			return err
 		}
-		in, err := memo.Inputs(p.Cfg)
-		if err != nil {
-			return err
-		}
-		ev := power.EventsFrom(in.Prof, in.Mem, in.Branch)
-		edp, err := pm.EDP(ev, p.Cfg, float64(sim.Cycles))
-		if err != nil {
-			return err
-		}
-		p.Sim = &sim
-		p.SimCPI = sim.CPI()
-		p.SimSecs = p.Cfg.Seconds(float64(sim.Cycles))
-		p.SimEDP = edp
-		if p.SimCPI > 0 {
-			p.CPIErr = abs(p.ModelCPI-p.SimCPI) / p.SimCPI
-		}
-		return nil
+		return fillSim(&pts[i], sim, memo, pm)
 	})
 	if err != nil {
 		return nil, err
@@ -251,7 +249,10 @@ func ExploreSuiteCtx(ctx context.Context, pws []*harness.Profiled, cfgs []uarch.
 
 // BestEDP returns the index of the point with the lowest EDP according
 // to the model and according to the detailed simulator (the latter is
-// -1 unless ExploreValidated filled the simulation fields).
+// -1 unless ExploreValidated filled the simulation fields). Ties on
+// EDP break to the lowest index — the earliest point in enumeration
+// order — so the winner is deterministic and independent of how the
+// points were produced (exhaustive sweep or search).
 func BestEDP(pts []Point) (modelBest, simBest int) {
 	modelBest, simBest = -1, -1
 	for i := range pts {

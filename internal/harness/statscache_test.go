@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestStatsCacheMatchesOneShot pins the search's statistics economy
+// AND its bit-identity claim at once: feeding the Table 2 component
+// combinations to a StatsCache in several incremental batches must
+// cost one replay per batch that actually misses, zero for covered
+// batches, and hand out inputs bit-identical to one CollectMultiStats
+// pass over the union.
+func TestStatsCacheMatchesOneShot(t *testing.T) {
+	spec, err := workloads.ByName("crc32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw := MustProfileProgram(spec.Build())
+	cfgs := table2Combos()
+
+	oneShot, err := CollectMultiStats(pw.Trace, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sc := pw.NewStatsCache()
+	ctx := context.Background()
+	// Three overlapping batches: the second re-adds half of the first
+	// (already covered, but alongside new hierarchies), the third is
+	// fully covered and must not replay.
+	if err := sc.AddCtx(ctx, cfgs[:6]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.AddCtx(ctx, cfgs[3:]); err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Replays(); got != 2 {
+		t.Fatalf("replays after two missing batches = %d, want 2", got)
+	}
+	if err := sc.AddCtx(ctx, cfgs); err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Replays(); got != 2 {
+		t.Fatalf("covered batch replayed: %d traversals, want still 2", got)
+	}
+
+	for _, cfg := range cfgs {
+		wantMem, wantBr, err := oneShot.Stats(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := sc.Inputs(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.Mem != wantMem {
+			t.Fatalf("%s: cache stats differ from one-shot:\n got %+v\nwant %+v", cfg.Name, in.Mem, wantMem)
+		}
+		if in.Branch != wantBr {
+			t.Fatalf("%s: branch stats differ from one-shot:\n got %+v\nwant %+v", cfg.Name, in.Branch, wantBr)
+		}
+		if in.Prof != pw.Prof {
+			t.Fatalf("%s: profile pointer differs", cfg.Name)
+		}
+	}
+}

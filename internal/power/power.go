@@ -152,3 +152,29 @@ func (m Model) EDP(ev Events, cfg uarch.Config, cycles float64) (float64, error)
 	}
 	return b.Total() * cfg.Seconds(cycles), nil
 }
+
+// Objectives bundles the optimization objectives of one design point:
+// total energy, delay, and their product. The Pareto-aware exploration
+// (dse.ParetoFront, dse.Search) trades Delay against EDP; both are
+// derived from the same Energy breakdown, so EDP here is bit-identical
+// to Model.EDP — the identity the exhaustive-recovery gate depends on.
+type Objectives struct {
+	EnergyJ  float64 // total energy, joules
+	DelaySec float64 // run time, seconds
+	EDP      float64 // energy-delay product, J·s
+}
+
+// Objectives evaluates all objectives for ev on cfg over cycles in one
+// Energy evaluation. Objectives(...).EDP uses exactly the float
+// operations of EDP(...), so the two are interchangeable bit-for-bit.
+func (m Model) Objectives(ev Events, cfg uarch.Config, cycles float64) (Objectives, error) {
+	b, err := m.Energy(ev, cfg, cycles)
+	if err != nil {
+		return Objectives{}, err
+	}
+	return Objectives{
+		EnergyJ:  b.Total(),
+		DelaySec: cfg.Seconds(cycles),
+		EDP:      b.Total() * cfg.Seconds(cycles),
+	}, nil
+}

@@ -92,11 +92,12 @@ type ErrorBody struct {
 	} `json:"error"`
 }
 
-// writeErr classifies err against the taxonomy (fallback names the
-// handler's own diagnosis), bumps the matching counters, and writes
-// the error body. Shed responses carry Retry-After so well-behaved
-// clients back off.
-func (s *Server) writeErr(w http.ResponseWriter, err error, fallback string) {
+// countErr classifies err against the taxonomy (fallback names the
+// handler's own diagnosis) and bumps the matching counters without
+// writing anything — the NDJSON streaming path reports errors as a
+// trailing line on an already-started 200 stream, where the status and
+// headers are long gone.
+func (s *Server) countErr(err error, fallback string) string {
 	code := classify(err, fallback)
 	s.errCount.Add(1)
 	switch code {
@@ -105,6 +106,14 @@ func (s *Server) writeErr(w http.ResponseWriter, err error, fallback string) {
 	case codeDeadline:
 		s.deadlineExceeded.Add(1)
 	}
+	return code
+}
+
+// writeErr classifies and counts err via countErr, then writes the
+// error body. Shed responses carry Retry-After so well-behaved
+// clients back off.
+func (s *Server) writeErr(w http.ResponseWriter, err error, fallback string) {
+	code := s.countErr(err, fallback)
 	w.Header().Set("Content-Type", "application/json")
 	if code == codeOverloaded {
 		w.Header().Set("Retry-After", "1")

@@ -1,0 +1,196 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/dse"
+	"repro/internal/power"
+	"repro/internal/uarch"
+)
+
+// searchLines runs one mode=search request and splits the NDJSON
+// stream into batch lines and the trailing summary.
+func searchLines(t *testing.T, url string) ([]SearchBatchLine, SearchSummaryLine) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type %q, want application/x-ndjson", ct)
+	}
+	var batches []SearchBatchLine
+	var summary SearchSummaryLine
+	sawSummary := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var kind struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &kind); err != nil {
+			t.Fatalf("unparsable NDJSON line %q: %v", line, err)
+		}
+		switch kind.Type {
+		case "batch":
+			if sawSummary {
+				t.Fatal("batch line after the summary")
+			}
+			var b SearchBatchLine
+			if err := json.Unmarshal(line, &b); err != nil {
+				t.Fatal(err)
+			}
+			batches = append(batches, b)
+		case "summary":
+			sawSummary = true
+			if err := json.Unmarshal(line, &summary); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			t.Fatalf("unexpected line type %q", kind.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawSummary {
+		t.Fatal("stream ended without a summary line")
+	}
+	return batches, summary
+}
+
+// TestExploreSearchStreamsAndMatchesDSE pins the mode=search contract:
+// the NDJSON stream carries every evaluated point batch-by-batch, the
+// summary's counters agree with the stream, and the frontier is
+// bit-identical to a direct dse.Search run with the same seed and
+// budget (the service adds no float paths of its own).
+func TestExploreSearchStreamsAndMatchesDSE(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	batches, summary := searchLines(t, ts.URL+"/v1/explore?bench=crc32&mode=search&space=table2&budget=64&seed=9")
+
+	streamed := 0
+	for i, b := range batches {
+		if b.Gen != i {
+			t.Fatalf("batch %d has gen %d", i, b.Gen)
+		}
+		streamed += len(b.Points)
+	}
+	if streamed != summary.Evaluated {
+		t.Fatalf("streamed %d points, summary evaluated %d", streamed, summary.Evaluated)
+	}
+	if summary.Generations != len(batches) {
+		t.Fatalf("summary generations %d, streamed %d batches", summary.Generations, len(batches))
+	}
+	if summary.Space != "table2" || summary.Budget != 64 || summary.Seed != 9 {
+		t.Fatalf("summary echo wrong: %+v", summary)
+	}
+	if summary.Cardinality != 192 {
+		t.Fatalf("cardinality %d, want 192", summary.Cardinality)
+	}
+	if summary.FrontSize != len(summary.Front) || summary.FrontSize == 0 {
+		t.Fatalf("front size %d, %d points", summary.FrontSize, len(summary.Front))
+	}
+
+	pw := profiledDirect(t, "crc32")
+	res, err := dse.Search(context.Background(), pw, uarch.Table2Domain(), uarch.Default(), power.NewModel(), dse.SearchOptions{Budget: 64, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Evaluated != res.Evaluated || len(summary.Front) != len(res.Front) {
+		t.Fatalf("summary evaluated=%d front=%d, dse.Search evaluated=%d front=%d",
+			summary.Evaluated, len(summary.Front), res.Evaluated, len(res.Front))
+	}
+	if summary.BestEDP == "" {
+		t.Fatal("summary has no best-EDP point")
+	}
+	for i, p := range res.Front {
+		if summary.Front[i].Name != p.Cfg.Name || summary.Front[i].ModelEDP != p.ModelEDP {
+			t.Fatalf("front[%d] = %s/%v, want %s/%v",
+				i, summary.Front[i].Name, summary.Front[i].ModelEDP, p.Cfg.Name, p.ModelEDP)
+		}
+	}
+}
+
+// TestExploreSearchMetrics pins that search runs feed the /metrics
+// counters.
+func TestExploreSearchMetrics(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	_, summary := searchLines(t, ts.URL+"/v1/explore?bench=crc32&mode=search&budget=32&seed=1")
+	var m Metrics
+	if resp := getJSON(t, ts.URL+"/metrics", &m); resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if m.Search.Runs != 1 {
+		t.Errorf("search runs = %d, want 1", m.Search.Runs)
+	}
+	if m.Search.Evaluated != int64(summary.Evaluated) {
+		t.Errorf("search evaluated = %d, want %d", m.Search.Evaluated, summary.Evaluated)
+	}
+	if m.Search.Generations != int64(summary.Generations) {
+		t.Errorf("search generations = %d, want %d", m.Search.Generations, summary.Generations)
+	}
+	if m.Search.Replays != int64(summary.Replays) {
+		t.Errorf("search replays = %d, want %d", m.Search.Replays, summary.Replays)
+	}
+}
+
+// TestExploreSpaceParam covers the typed-domain request surface: the
+// extended space sweeps and filters by its own axes, and malformed
+// space/mode/search parameters are rejected up front with 400s.
+func TestExploreSpaceParam(t *testing.T) {
+	ts := newTestServer(t, Config{})
+
+	// A filtered sweep of the extended space: pin one value on every
+	// non-Table-2 axis and the response is a Table-2-sized slice.
+	var got ExploreResponse
+	resp := getJSON(t, ts.URL+"/v1/explore?bench=crc32&space=extended&l1kb=32&l1ways=2&fscale=1&width=1&stages=5&l2kb=128&l2ways=8&pred=gshare", &got)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("extended sweep status %d", resp.StatusCode)
+	}
+	if got.Count != 1 {
+		t.Fatalf("fully filtered extended sweep has %d points, want 1", got.Count)
+	}
+	if name := got.Points[0].Name; !strings.Contains(name, "l1_32k_2w") || !strings.Contains(name, "f1") {
+		t.Fatalf("point %q does not carry the extended axes", name)
+	}
+
+	for _, c := range []struct {
+		url  string
+		code string
+	}{
+		{"/v1/explore?bench=crc32&space=galactic", "bad_request"},            // unknown domain
+		{"/v1/explore?bench=crc32&mode=anneal", "bad_request"},               // unknown mode
+		{"/v1/explore?bench=crc32&budget=64", "bad_request"},                 // budget without search
+		{"/v1/explore?bench=crc32&seed=1", "bad_request"},                    // seed without search
+		{"/v1/explore?bench=crc32&mode=search&width=2", "bad_request"},       // filter in search mode
+		{"/v1/explore?bench=crc32&mode=search&budget=-3", "bad_request"},     // negative budget
+		{"/v1/explore?bench=crc32&l1kb=32", "bad_request"},                   // extended axis on table2
+		{"/v1/explore?bench=crc32&space=extended&l1kb=48", "bad_request"},    // out-of-domain axis value
+		{"/v1/explore?bench=crc32&mode=search&seed=zebra", "bad_request"},    // unparsable seed
+		{"/v1/explore?bench=nosuch&mode=search", "not_found"},                // unknown benchmark
+		{"/v1/explore?bench=crc32&space=extended&fscale=7.5", "bad_request"}, // out-of-domain float
+	} {
+		var body ErrorBody
+		resp, err := http.Get(ts.URL + c.url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("%s: undecodable error body: %v", c.url, err)
+		}
+		resp.Body.Close()
+		if body.Error.Code != c.code {
+			t.Errorf("%s: code %q, want %q (message %q)", c.url, body.Error.Code, c.code, body.Error.Message)
+		}
+	}
+}

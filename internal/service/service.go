@@ -157,6 +157,11 @@ type Server struct {
 	deadlineExceeded atomic.Int64
 	panics           atomic.Int64
 
+	searchRuns        atomic.Int64
+	searchEvaluated   atomic.Int64
+	searchGenerations atomic.Int64
+	searchReplays     atomic.Int64
+
 	// ids memoizes each benchmark's artifact identity (building the
 	// program once per process to fingerprint its IR), so listing and
 	// warm-start paths don't rebuild every workload per request.
@@ -501,6 +506,20 @@ func intParam(r *http.Request, name string, def int) (int, error) {
 	return n, nil
 }
 
+// int64Param parses a 64-bit integer query parameter (search seeds),
+// returning def when absent.
+func int64Param(r *http.Request, name string, def int64) (int64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s=%q is not an integer", name, v)
+	}
+	return n, nil
+}
+
 // decodeConfig builds the requested design point from query
 // parameters, validated against the Table 2 domain by the same
 // uarch.Table2Config validator cmd/inorder-model uses.
@@ -675,65 +694,66 @@ type ExploreResponse struct {
 	Points        []ExplorePoint `json:"points"`
 }
 
-// spaceFilter narrows the Table 2 space by optional query parameters.
-// Each present parameter must itself be a Table 2 value.
-func spaceFilter(r *http.Request) ([]uarch.Config, error) {
-	space := dse.Space(uarch.Default())
-	for _, f := range []struct {
-		param  string
-		domain []int
-		get    func(uarch.Config) int
-	}{
-		{"width", uarch.Table2Widths(), func(c uarch.Config) int { return c.Width }},
-		{"stages", uarch.Table2Stages(), func(c uarch.Config) int { return c.PipelineStages() }},
-		{"l2kb", uarch.Table2L2SizesKB(), func(c uarch.Config) int { return int(c.Hier.L2.SizeBytes / uarch.KB) }},
-		{"l2ways", uarch.Table2L2Ways(), func(c uarch.Config) int { return c.Hier.L2.Ways }},
-	} {
-		v := r.URL.Query().Get(f.param)
+// domainFilter narrows a typed domain's enumeration by optional
+// per-axis query parameters (the axis request names: width, stages,
+// l2kb, ..., and on the extended space also l1kb, l1ways, fscale).
+// Each present value is validated by the axis itself, so the rejection
+// lists the valid spellings dynamically.
+func domainFilter(r *http.Request, d *uarch.Domain) ([]uarch.Config, error) {
+	pts := d.EnumeratePoints()
+	axes := d.Axes()
+	for ai := range axes {
+		v := r.URL.Query().Get(axes[ai].Name)
 		if v == "" {
 			continue
 		}
-		n, err := strconv.Atoi(v)
-		if err != nil {
-			return nil, fmt.Errorf("parameter %s=%q is not an integer", f.param, v)
-		}
-		ok := false
-		for _, d := range f.domain {
-			ok = ok || d == n
-		}
-		if !ok {
-			return nil, fmt.Errorf("parameter %s=%d outside the Table 2 domain %v", f.param, n, f.domain)
-		}
-		var kept []uarch.Config
-		for _, c := range space {
-			if f.get(c) == n {
-				kept = append(kept, c)
-			}
-		}
-		space = kept
-	}
-	if pred := r.URL.Query().Get("pred"); pred != "" {
-		pk, err := uarch.PredictorByName(pred)
+		idx, err := axes[ai].IndexOfValue(v)
 		if err != nil {
 			return nil, err
 		}
-		var kept []uarch.Config
-		for _, c := range space {
-			if c.Predictor == pk {
-				kept = append(kept, c)
+		var kept []uarch.Point
+		for _, pt := range pts {
+			if pt[ai] == idx {
+				kept = append(kept, pt)
 			}
 		}
-		space = kept
+		pts = kept
+	}
+	space := make([]uarch.Config, len(pts))
+	for i, pt := range pts {
+		cfg, err := d.Apply(uarch.Default(), pt)
+		if err != nil {
+			return nil, err
+		}
+		space[i] = cfg
 	}
 	return space, nil
 }
 
-// handleExplore serves a full or filtered Table 2 exploration — the
-// service form of `dse-explore -bench B [-validate]`. With
-// validate=true the detailed simulator runs at every point through the
-// annotation-plane fast path, under the per-request worker budget.
+// handleExplore serves design-space exploration — the service form of
+// `dse-explore -bench B [-space S] [-validate] [-search]`. The space
+// parameter picks a typed parameter domain (default table2); mode=
+// sweep (the default) evaluates every point, optionally narrowed by
+// per-axis filters, while mode=search runs the Pareto-aware heuristic
+// search and streams NDJSON batches as generations complete, ending
+// with a frontier summary line. With validate=true the detailed
+// simulator runs at every evaluated point through the annotation-plane
+// fast path, under the per-request worker budget.
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
-	if err := checkParams(r, "bench", "width", "stages", "l2kb", "l2ways", "pred", "validate", "top"); err != nil {
+	spaceName := r.URL.Query().Get("space")
+	if spaceName == "" {
+		spaceName = "table2"
+	}
+	domain, err := uarch.DomainByName(spaceName)
+	if err != nil {
+		s.writeErr(w, err, codeBadRequest)
+		return
+	}
+	allowed := []string{"bench", "space", "mode", "budget", "seed", "validate", "top"}
+	for _, ax := range domain.Axes() {
+		allowed = append(allowed, ax.Name)
+	}
+	if err := checkParams(r, allowed...); err != nil {
 		s.writeErr(w, err, codeBadRequest)
 		return
 	}
@@ -742,17 +762,32 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, fmt.Errorf("missing required parameter bench"), codeBadRequest)
 		return
 	}
-	space, err := spaceFilter(r)
-	if err != nil {
-		s.writeErr(w, err, codeBadRequest)
-		return
-	}
 	top, err := intParam(r, "top", 0)
 	if err != nil {
 		s.writeErr(w, err, codeBadRequest)
 		return
 	}
 	validate, err := boolParam(r, "validate")
+	if err != nil {
+		s.writeErr(w, err, codeBadRequest)
+		return
+	}
+	switch mode := r.URL.Query().Get("mode"); mode {
+	case "search":
+		s.exploreSearch(w, r, domain, bench, validate, top)
+		return
+	case "", "sweep":
+	default:
+		s.writeErr(w, fmt.Errorf("unknown mode %q (use sweep or search)", mode), codeBadRequest)
+		return
+	}
+	for _, p := range []string{"budget", "seed"} {
+		if r.URL.Query().Get(p) != "" {
+			s.writeErr(w, fmt.Errorf("parameter %s applies to mode=search only", p), codeBadRequest)
+			return
+		}
+	}
+	space, err := domainFilter(r, domain)
 	if err != nil {
 		s.writeErr(w, err, codeBadRequest)
 		return
@@ -846,6 +881,191 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		resp.MaxErrPercent = 100 * max
 	}
 	s.writeJSON(w, resp)
+}
+
+// SearchPoint is one evaluated design point of a mode=search stream.
+type SearchPoint struct {
+	Name          string  `json:"name"`
+	ModelCPI      float64 `json:"model_cpi"`
+	ModelEDP      float64 `json:"model_edp"`
+	ModelSeconds  float64 `json:"model_seconds"`
+	ModelEnergyJ  float64 `json:"model_energy_j"`
+	SimCPI        float64 `json:"sim_cpi,omitempty"`
+	SimEDP        float64 `json:"sim_edp,omitempty"`
+	CPIErrPercent float64 `json:"cpi_err_percent,omitempty"`
+}
+
+func searchPoints(pts []dse.Point) []SearchPoint {
+	out := make([]SearchPoint, len(pts))
+	for i, p := range pts {
+		sp := SearchPoint{
+			Name:         p.Cfg.Name,
+			ModelCPI:     p.ModelCPI,
+			ModelEDP:     p.ModelEDP,
+			ModelSeconds: p.ModelSecs,
+			ModelEnergyJ: p.ModelEnergyJ,
+		}
+		if p.Sim != nil {
+			sp.SimCPI = p.SimCPI
+			sp.SimEDP = p.SimEDP
+			sp.CPIErrPercent = 100 * p.CPIErr
+		}
+		out[i] = sp
+	}
+	return out
+}
+
+// SearchBatchLine is one NDJSON line of a mode=search response: a
+// generation's evaluated points, streamed as soon as they exist.
+type SearchBatchLine struct {
+	Type   string        `json:"type"` // "batch"
+	Gen    int           `json:"gen"`
+	Points []SearchPoint `json:"points"`
+}
+
+// SearchSummaryLine is the final NDJSON line of a mode=search
+// response: the Pareto frontier over every evaluated point plus the
+// search's economy counters.
+type SearchSummaryLine struct {
+	Type        string        `json:"type"` // "summary"
+	Benchmark   string        `json:"benchmark"`
+	Space       string        `json:"space"`
+	Cardinality int64         `json:"cardinality"`
+	Budget      int           `json:"budget"`
+	Seed        int64         `json:"seed"`
+	Validated   bool          `json:"validated"`
+	Workers     int           `json:"workers"`
+	Evaluated   int           `json:"evaluated"`
+	Generations int           `json:"generations"`
+	Replays     int           `json:"stats_replays"`
+	BestEDP     string        `json:"best_edp"`
+	FrontSize   int           `json:"front_size"`
+	Front       []SearchPoint `json:"front"`
+}
+
+// SearchErrorLine is the trailing NDJSON line of a mode=search stream
+// that failed after batches were already flushed (the status is long
+// gone, so the error travels in-band).
+type SearchErrorLine struct {
+	Type string `json:"type"` // "error"
+	ErrorBody
+}
+
+// exploreSearch serves /v1/explore?mode=search: the heuristic search
+// over a typed domain, streamed as NDJSON — one line per generation,
+// then a summary line carrying the Pareto frontier.
+func (s *Server) exploreSearch(w http.ResponseWriter, r *http.Request, domain *uarch.Domain, bench string, validate bool, top int) {
+	for _, ax := range domain.Axes() {
+		if r.URL.Query().Get(ax.Name) != "" {
+			s.writeErr(w, fmt.Errorf("parameter %s applies to mode=sweep only", ax.Name), codeBadRequest)
+			return
+		}
+	}
+	budget, err := intParam(r, "budget", 0)
+	if err != nil {
+		s.writeErr(w, err, codeBadRequest)
+		return
+	}
+	if budget < 0 {
+		s.writeErr(w, fmt.Errorf("parameter budget=%d is negative", budget), codeBadRequest)
+		return
+	}
+	seed, err := int64Param(r, "seed", 0)
+	if err != nil {
+		s.writeErr(w, err, codeBadRequest)
+		return
+	}
+	ctx, cancel := deadlineCtx(r, s.cfg.ExploreTimeout)
+	defer cancel()
+	pw, fallback, err := s.profiled(ctx, bench)
+	if err != nil {
+		s.writeErr(w, err, fallback)
+		return
+	}
+	want := 1
+	if validate {
+		want = s.cfg.ExploreWorkers
+		if want < 1 {
+			want = 1
+		}
+	}
+	tokens, err := s.queue.Acquire(ctx, want)
+	if err != nil {
+		s.writeErr(w, err, codeInternal)
+		return
+	}
+	defer s.budget.Release(tokens)
+
+	s.searchRuns.Add(1)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	streamed := false
+	opts := dse.SearchOptions{
+		Budget:   budget,
+		Seed:     seed,
+		Validate: validate,
+		Workers:  tokens,
+		OnBatch: func(gen int, pts []dse.Point) error {
+			if !streamed {
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				streamed = true
+			}
+			if err := enc.Encode(SearchBatchLine{Type: "batch", Gen: gen, Points: searchPoints(pts)}); err != nil {
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		},
+	}
+	res, err := dse.Search(ctx, pw, domain, uarch.Default(), s.pm, opts)
+	s.searchEvaluated.Add(int64(res.Evaluated))
+	s.searchGenerations.Add(int64(res.Generations))
+	s.searchReplays.Add(int64(res.Replays))
+	if err != nil {
+		if !streamed {
+			s.writeErr(w, err, codeInternal)
+			return
+		}
+		var line SearchErrorLine
+		line.Type = "error"
+		line.Error.Code = s.countErr(err, codeInternal)
+		line.Error.Message = err.Error()
+		_ = enc.Encode(line)
+		return
+	}
+	summary := SearchSummaryLine{
+		Type:        "summary",
+		Benchmark:   bench,
+		Space:       domain.Name,
+		Cardinality: domain.Cardinality(),
+		Budget:      budget,
+		Seed:        seed,
+		Validated:   validate,
+		Workers:     tokens,
+		Evaluated:   res.Evaluated,
+		Generations: res.Generations,
+		Replays:     res.Replays,
+		FrontSize:   len(res.Front),
+	}
+	if mBest, sBest := dse.BestEDP(res.Front); sBest >= 0 {
+		summary.BestEDP = res.Front[sBest].Cfg.Name
+	} else if mBest >= 0 {
+		summary.BestEDP = res.Front[mBest].Cfg.Name
+	}
+	front := res.Front
+	if top > 0 && top < len(front) {
+		front = front[:top]
+	}
+	summary.Front = searchPoints(front)
+	if !streamed {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	_ = enc.Encode(summary)
+	if flusher != nil {
+		flusher.Flush()
+	}
 }
 
 // WorkloadInfo is one /v1/workloads row.
@@ -994,6 +1214,12 @@ type Metrics struct {
 		QueueDepth       int   `json:"queue_depth"`
 		PanicsRecovered  int64 `json:"panics_recovered"`
 	} `json:"lifecycle"`
+	Search struct {
+		Runs        int64 `json:"runs"`
+		Evaluated   int64 `json:"evaluated"`
+		Generations int64 `json:"generations"`
+		Replays     int64 `json:"stats_replays"`
+	} `json:"search"`
 	Store struct {
 		Retries  int64 `json:"store_retries"`
 		Trips    int64 `json:"store_trips"`
@@ -1040,6 +1266,10 @@ func (s *Server) MetricsSnapshot() Metrics {
 	m.Lifecycle.Shed = m.Lifecycle.ShedFull + m.Lifecycle.ShedWait
 	m.Lifecycle.QueueDepth = s.queue.Depth()
 	m.Lifecycle.PanicsRecovered = s.panics.Load()
+	m.Search.Runs = s.searchRuns.Load()
+	m.Search.Evaluated = s.searchEvaluated.Load()
+	m.Search.Generations = s.searchGenerations.Load()
+	m.Search.Replays = s.searchReplays.Load()
 	if s.guard != nil {
 		m.Store.Retries = s.guard.Retried()
 		m.Store.Trips = s.guard.Trips()

@@ -1,6 +1,7 @@
 package uarch
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -69,6 +70,34 @@ func TestPredictorNameRoundTrip(t *testing.T) {
 		}
 		if got := PredictorName(pk); got != name {
 			t.Errorf("PredictorName(%v) = %q, want %q", pk, got, name)
+		}
+	}
+}
+
+// TestPredictorNameRoundTripAllKinds covers every predictor the
+// simulator knows — not just the Table 2 pair — and pins that the
+// rejection lists every valid spelling dynamically.
+func TestPredictorNameRoundTripAllKinds(t *testing.T) {
+	for _, k := range PredictorKinds() {
+		name := PredictorName(k)
+		got, err := PredictorByName(name)
+		if err != nil {
+			t.Fatalf("PredictorByName(%q): %v", name, err)
+		}
+		if got != k {
+			t.Errorf("PredictorByName(PredictorName(%v)) = %v", k, got)
+		}
+	}
+	_, err := PredictorByName("alwaystaken")
+	if err == nil {
+		t.Fatal("PredictorByName accepted alwaystaken")
+	}
+	if !errors.Is(err, ErrOutOfDomain) {
+		t.Fatalf("rejection %v does not wrap ErrOutOfDomain", err)
+	}
+	for _, k := range PredictorKinds() {
+		if !strings.Contains(err.Error(), PredictorName(k)) {
+			t.Errorf("rejection %q does not list %q", err, PredictorName(k))
 		}
 	}
 }

@@ -108,6 +108,26 @@ if go build -o "${TMPDIR:-/tmp}/bench-modeld" ./cmd/modeld; then
 fi
 export BENCH_ROBUST_FILE="$robust"
 
+# Pareto-search probe: one budgeted heuristic search over the extended
+# typed domain, recording wall time, evaluation count and frontier size
+# as a new baseline section. The search shares the exhaustive sweep's
+# statistics/model/power code paths, so the figure metrics above are
+# unaffected; this section is economy telemetry, not a figure gate.
+# Best-effort like the lifecycle probes: a failed probe records null.
+echo "probing Pareto search (extended space, budget 512)..." >&2
+search_line=""
+search_wall=""
+if go build -o "${TMPDIR:-/tmp}/bench-dse" ./cmd/dse-explore; then
+  s0="$(date +%s%N)"
+  search_line="$("${TMPDIR:-/tmp}/bench-dse" -bench crc32 -space extended -search -budget 512 -seed 1 2> /dev/null \
+    | sed -n 's/^search summary: //p' | head -1)" || true
+  s1="$(date +%s%N)"
+  if [[ -n "$search_line" ]]; then
+    search_wall="$(awk -v a="$s0" -v b="$s1" 'BEGIN{printf "%.6f", (b-a)/1e9}')"
+  fi
+fi
+export BENCH_SEARCH_LINE="$search_line" BENCH_SEARCH_WALL="$search_wall"
+
 python3 - "$raw" "$out" "$prev" <<'EOF'
 import json, os, re, sys
 
@@ -165,6 +185,29 @@ try:
     }
 except (OSError, ValueError):
     pass
+
+# Pareto-search economy telemetry: wall time, evaluation count and
+# frontier size of one budgeted extended-space search. Lives outside
+# benchmarks{} so check_bench never treats it as a figure metric.
+doc["search"] = None
+line = os.environ.get("BENCH_SEARCH_LINE", "")
+m = re.match(
+    r'evaluated=(\d+) generations=(\d+) stats_replays=(\d+) '
+    r'front=(\d+) cardinality=(\d+)$', line)
+if m:
+    wall = os.environ.get("BENCH_SEARCH_WALL", "")
+    doc["search"] = {
+        "benchmark": "crc32",
+        "space": "extended",
+        "budget": 512,
+        "seed": 1,
+        "wall_seconds": float(wall) if wall else None,
+        "evaluated": int(m.group(1)),
+        "generations": int(m.group(2)),
+        "stats_replays": int(m.group(3)),
+        "front_size": int(m.group(4)),
+        "cardinality": int(m.group(5)),
+    }
 
 if os.path.exists(prev_path):
     prev = json.load(open(prev_path))["benchmarks"]
