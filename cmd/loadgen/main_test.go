@@ -1,0 +1,95 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// TestGeneratorDeterministic: the same seed yields the same op
+// sequence — the property the CI load gate's comparability rests on.
+func TestGeneratorDeterministic(t *testing.T) {
+	mk := func() []op {
+		g := newGenerator(7, []string{"http://a", "http://b"}, []string{"sha", "crc32"}, 0.1)
+		ops := make([]op, 200)
+		for i := range ops {
+			ops[i] = g.gen()
+		}
+		return ops
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs across same-seed runs:\n %+v\n %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestGeneratorMixAndValidity: the op mix lands near 80/15/5 and
+// every generated predict path stays inside the Table 2 domain the
+// service accepts.
+func TestGeneratorMixAndValidity(t *testing.T) {
+	g := newGenerator(1, []string{"http://a"}, []string{"sha"}, 0.5)
+	counts := map[string]int{}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		o := g.gen()
+		counts[o.kind]++
+		if o.kind == "ingest" && o.body == "" {
+			t.Fatal("ingest op without a body")
+		}
+	}
+	for kind, want := range map[string]float64{"predict": 0.80, "explore": 0.15, "ingest": 0.05} {
+		got := float64(counts[kind]) / n
+		if got < want-0.03 || got > want+0.03 {
+			t.Errorf("mix of %s = %.3f, want ~%.2f", kind, got, want)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	lats := make([]time.Duration, 100)
+	for i := range lats {
+		lats[i] = time.Duration(i+1) * time.Millisecond
+	}
+	s := summarize(lats)
+	if s.P50 != 50 || s.P95 != 95 || s.P99 != 99 || s.Max != 100 {
+		t.Fatalf("percentiles = %+v, want p50=50 p95=95 p99=99 max=100", s)
+	}
+	if z := summarize(nil); z.P99 != 0 {
+		t.Fatalf("empty population p99 = %v, want 0", z.P99)
+	}
+}
+
+// TestClosedLoopAgainstService is a miniature end-to-end run: a short
+// closed-loop burst against an in-process modeld must complete with
+// zero errors and non-empty latency data — the same invariant the CI
+// load gate enforces at larger scale.
+func TestClosedLoopAgainstService(t *testing.T) {
+	srv, err := service.New(service.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	gen := newGenerator(1, []string{ts.URL}, []string{"sha"}, 0)
+	client := ts.Client()
+	client.Timeout = 30 * time.Second
+	samples, wall := runClosed(gen, client, 2, 500*time.Millisecond)
+	pr := report(samples, wall)
+	if pr.Requests == 0 {
+		t.Fatal("closed loop completed zero requests")
+	}
+	if pr.ErrorRate != 0 {
+		t.Fatalf("error rate %.4f against a healthy unbounded service, want 0 (%v)", pr.ErrorRate, pr.Errors)
+	}
+	if pr.LatencyMs.P99 <= 0 {
+		t.Fatalf("p99 = %v, want > 0", pr.LatencyMs.P99)
+	}
+	if pr.AchievedQPS <= 0 {
+		t.Fatal("achieved qps not recorded")
+	}
+}

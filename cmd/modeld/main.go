@@ -14,6 +14,7 @@
 //	GET  /v1/workloads
 //	POST /v1/workloads   (assembly text body; optional X-Tenant header)
 //	GET  /v1/artifacts
+//	GET  /v1/artifacts/{key}   (raw store object, for ring peers)
 //	GET  /healthz
 //	GET  /metrics
 //
@@ -30,12 +31,21 @@
 // quotas (keyed by the X-Tenant header) bound stored workloads, stored
 // bytes, and concurrent ingestion jobs.
 //
+// With -self and -peers, the process joins a fleet: every member
+// builds the same consistent-hash ring over workload names, requests
+// for workloads owned by another node are proxied to it (one hop, with
+// local-compute fallback if the owner is down), and artifact misses
+// are filled from peers over /v1/artifacts/{key} before falling back
+// to profiling. Each node thereby keeps a disjoint hot set and the
+// fleet's aggregate cache scales with its size.
+//
 // Usage:
 //
 //	modeld -addr :8080
 //	modeld -addr :8080 -max-workloads 8 -max-plane-bytes 268435456 -workers 8 -explore-workers 4
 //	modeld -addr :8080 -artifact-dir /var/lib/modeld/artifacts
 //	modeld -addr :8080 -predict-timeout 5s -explore-timeout 2m -queue-depth 64 -queue-wait 5s -shutdown-timeout 15s
+//	modeld -addr :8081 -self 10.0.0.1:8081 -peers 10.0.0.1:8081,10.0.0.2:8081 -artifact-dir /var/lib/modeld/artifacts
 package main
 
 import (
@@ -46,6 +56,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -53,6 +64,18 @@ import (
 	"repro/internal/par"
 	"repro/internal/service"
 )
+
+// splitPeers parses the -peers flag: comma-separated addresses,
+// surrounding whitespace trimmed, empty entries dropped.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 func main() {
 	log.SetFlags(0)
@@ -79,6 +102,11 @@ func main() {
 		quotaWorkloads = flag.Int("quota-workloads", 0, "stored workloads allowed per tenant (0 = default)")
 		quotaBytes     = flag.Int64("quota-source-bytes", 0, "total stored source bytes allowed per tenant (0 = default)")
 		quotaInFlight  = flag.Int("quota-inflight", 0, "concurrent ingestion jobs allowed per tenant (0 = default)")
+
+		clusterSelf  = flag.String("self", "", "this node's advertised host:port in the fleet; must appear in -peers (empty = single-process mode)")
+		clusterPeers = flag.String("peers", "", "comma-separated fleet member list including self; all members must pass the same set")
+		vnodes       = flag.Int("vnodes", 0, "virtual points per ring member (0 = default)")
+		proxyTimeout = flag.Duration("proxy-timeout", 0, "deadline for one proxied request to a workload's owning node (0 = default)")
 	)
 	flag.Parse()
 	par.SetDefault(*workers)
@@ -105,6 +133,10 @@ func main() {
 			MaxSourceBytes: *quotaBytes,
 			MaxInFlight:    *quotaInFlight,
 		},
+		ClusterSelf:  *clusterSelf,
+		ClusterPeers: splitPeers(*clusterPeers),
+		VirtualNodes: *vnodes,
+		ProxyTimeout: *proxyTimeout,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,122 @@
+// Package cluster places workloads on modeld nodes. A fleet shards by
+// workload name over a consistent-hash ring: every node builds the
+// same ring from the same member list and therefore agrees on which
+// node owns which workload, with no coordination service. A node that
+// receives a request for a workload it does not own proxies one hop to
+// the owner, so each node's LRU pool holds a disjoint hot set and the
+// fleet's aggregate cache capacity scales with its size.
+//
+// Placement must be deterministic (two processes with the same member
+// list compute identical owners — the proxy protocol and the CI
+// cluster-determinism gate both depend on it) and stable (membership
+// changes move only the fair share of keys: adding a node to an
+// N-node ring reassigns ~1/(N+1) of the keys, all of them to the new
+// node, and removing one reassigns only the keys it owned). Both
+// properties come from the classic construction: each node projects a
+// configurable number of virtual points onto a 64-bit hash circle, and
+// a key is owned by the node of the first point at or clockwise of the
+// key's hash.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DefaultVirtualNodes is the per-node virtual point count used when
+// the caller passes 0. At 128 points per node the expected imbalance
+// between nodes is on the order of 1/sqrt(128) ≈ 9% of the fair
+// share; the distribution test pins a looser bound.
+const DefaultVirtualNodes = 128
+
+// point is one virtual node on the hash circle.
+type point struct {
+	hash uint64
+	node int32 // index into Ring.nodes
+}
+
+// Ring is an immutable consistent-hash ring over a set of node
+// addresses. Build with New; all methods are safe for concurrent use.
+type Ring struct {
+	nodes  []string // sorted, unique
+	vnodes int
+	points []point // sorted by hash
+}
+
+// hash64 is the placement hash: the first 8 bytes of SHA-256, which is
+// stable across processes, architectures and Go releases (unlike
+// maphash) — a requirement, since every ring member must agree.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.LittleEndian.Uint64(sum[:8])
+}
+
+// New builds a ring over the given member addresses with vnodes
+// virtual points per member (0 means DefaultVirtualNodes). The member
+// list is canonicalized by sorting, so every node may pass its -peers
+// flag in any order and still build an identical ring; empty or
+// duplicate members are configuration mistakes and rejected.
+func New(nodes []string, vnodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	sorted := append([]string(nil), nodes...)
+	sort.Strings(sorted)
+	for i, n := range sorted {
+		if n == "" || n != strings.TrimSpace(n) {
+			return nil, fmt.Errorf("cluster: invalid node address %q", n)
+		}
+		if i > 0 && sorted[i-1] == n {
+			return nil, fmt.Errorf("cluster: duplicate node address %q", n)
+		}
+	}
+	r := &Ring{nodes: sorted, vnodes: vnodes, points: make([]point, 0, len(sorted)*vnodes)}
+	for ni, n := range r.nodes {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%s#%d", n, v)), node: int32(ni)})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A 64-bit collision between virtual points is vanishingly
+		// unlikely, but the tie-break keeps the sort — and therefore
+		// placement — fully deterministic even then.
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// Owner returns the node that owns key: the node of the first virtual
+// point at or clockwise of the key's hash. The ring is never empty, so
+// Owner always answers.
+func (r *Ring) Owner(key string) string {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the circle's first point owns the top arc
+	}
+	return r.nodes[r.points[i].node]
+}
+
+// Nodes returns the sorted member list (a copy).
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// VirtualNodes returns the per-member virtual point count in effect.
+func (r *Ring) VirtualNodes() int { return r.vnodes }
+
+// Contains reports whether addr is a ring member.
+func (r *Ring) Contains(addr string) bool {
+	i := sort.SearchStrings(r.nodes, addr)
+	return i < len(r.nodes) && r.nodes[i] == addr
+}

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// testKeys returns n deterministic keys shaped like workload names.
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("workload-%04d", i)
+	}
+	return keys
+}
+
+func mustRing(t *testing.T, nodes []string, vnodes int) *Ring {
+	t.Helper()
+	r, err := New(nodes, vnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRingRejectsBadConfig(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := New([]string{"a", "a"}, 0); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	if _, err := New([]string{""}, 0); err == nil {
+		t.Fatal("empty node address accepted")
+	}
+	if _, err := New([]string{" a"}, 0); err == nil {
+		t.Fatal("whitespace-padded node address accepted")
+	}
+}
+
+// TestRingDeterministicPlacement: two rings built from the same
+// members — in different orders, by different processes in real life —
+// must agree on every owner. This is the property the proxy protocol
+// and the CI cluster-determinism gate rest on.
+func TestRingDeterministicPlacement(t *testing.T) {
+	nodes := []string{"10.0.0.1:8080", "10.0.0.2:8080", "10.0.0.3:8080", "10.0.0.4:8080"}
+	shuffled := []string{"10.0.0.3:8080", "10.0.0.1:8080", "10.0.0.4:8080", "10.0.0.2:8080"}
+	a := mustRing(t, nodes, 64)
+	b := mustRing(t, shuffled, 64)
+	for _, k := range testKeys(2000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("placement differs for %q: %q vs %q", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingNoKeyUnowned: every key has exactly one owner and it is a
+// member — including keys hashing past the last virtual point (the
+// wrap-around arc).
+func TestRingNoKeyUnowned(t *testing.T) {
+	r := mustRing(t, []string{"a:1", "b:1", "c:1"}, 8)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		k := fmt.Sprintf("key-%d-%d", i, rng.Int63())
+		owner := r.Owner(k)
+		if owner == "" || !r.Contains(owner) {
+			t.Fatalf("key %q owned by non-member %q", k, owner)
+		}
+	}
+}
+
+// TestRingDistributionBounds: with the default virtual-node count, no
+// node's share of a large key population strays past ±40% of fair.
+// (Expected deviation at 128 vnodes is ~9%; the bound is loose enough
+// to be hash-stable forever and tight enough to catch a broken point
+// projection, which skews shares by integer factors.)
+func TestRingDistributionBounds(t *testing.T) {
+	nodes := []string{"n1:1", "n2:1", "n3:1", "n4:1"}
+	r := mustRing(t, nodes, 0) // default vnodes
+	counts := make(map[string]int)
+	keys := testKeys(20000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	fair := float64(len(keys)) / float64(len(nodes))
+	for _, n := range nodes {
+		share := float64(counts[n]) / fair
+		if share < 0.6 || share > 1.4 {
+			t.Errorf("node %s owns %d keys (%.2fx fair share %v)", n, counts[n], share, counts)
+		}
+	}
+}
+
+// TestRingJoinMovesOnlyFairShare: growing an N-node ring by one node
+// may only move keys TO the new node (consistent hashing adds virtual
+// points, never moves existing ones), and the moved fraction stays
+// near 1/(N+1).
+func TestRingJoinMovesOnlyFairShare(t *testing.T) {
+	base := []string{"n1:1", "n2:1", "n3:1", "n4:1"}
+	grown := append(append([]string(nil), base...), "n5:1")
+	before := mustRing(t, base, 0)
+	after := mustRing(t, grown, 0)
+	keys := testKeys(20000)
+	moved := 0
+	for _, k := range keys {
+		was, is := before.Owner(k), after.Owner(k)
+		if was != is {
+			moved++
+			if is != "n5:1" {
+				t.Fatalf("key %q moved %q -> %q, not to the joining node", k, was, is)
+			}
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	// Fair share for the 5th node is 0.20.
+	if frac < 0.10 || frac > 0.35 {
+		t.Errorf("join moved %.1f%% of keys, want ~20%%", 100*frac)
+	}
+}
+
+// TestRingLeaveMovesOnlyDepartedKeys: shrinking the ring reassigns
+// exactly the departed node's keys; everything else stays put.
+func TestRingLeaveMovesOnlyDepartedKeys(t *testing.T) {
+	full := []string{"n1:1", "n2:1", "n3:1", "n4:1"}
+	shrunk := []string{"n1:1", "n2:1", "n4:1"}
+	before := mustRing(t, full, 0)
+	after := mustRing(t, shrunk, 0)
+	for _, k := range testKeys(20000) {
+		was, is := before.Owner(k), after.Owner(k)
+		if was == "n3:1" {
+			if is == "n3:1" {
+				t.Fatalf("key %q still owned by departed node", k)
+			}
+			continue
+		}
+		if was != is {
+			t.Fatalf("key %q moved %q -> %q though its owner never left", k, was, is)
+		}
+	}
+}
+
+func TestRingAccessors(t *testing.T) {
+	r := mustRing(t, []string{"b:1", "a:1"}, 16)
+	if got := r.Nodes(); len(got) != 2 || got[0] != "a:1" || got[1] != "b:1" {
+		t.Fatalf("Nodes() = %v, want sorted [a:1 b:1]", got)
+	}
+	if r.Len() != 2 || r.VirtualNodes() != 16 {
+		t.Fatalf("Len/VirtualNodes = %d/%d", r.Len(), r.VirtualNodes())
+	}
+	if r.Contains("c:1") || !r.Contains("a:1") {
+		t.Fatal("Contains is wrong")
+	}
+}

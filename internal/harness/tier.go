@@ -29,5 +29,9 @@ type ArtifactTier interface {
 	SaveBranchPlane(workloadKey, predictor string, p *trace.BitPlane) error
 }
 
-// Interface check: the concrete store is the canonical tier.
-var _ ArtifactTier = (*artifact.Store)(nil)
+// Interface checks: the concrete store is the canonical tier; the
+// remote tier chains it with fleet peers.
+var (
+	_ ArtifactTier = (*artifact.Store)(nil)
+	_ ArtifactTier = (*artifact.RemoteTier)(nil)
+)

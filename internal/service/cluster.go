@@ -1,0 +1,116 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/artifact"
+)
+
+// ForwardedHeader marks a request already proxied once by a ring
+// member. A receiving node serves such a request locally no matter who
+// owns the workload — the single-hop loop guard: two nodes with
+// momentarily divergent member lists bounce a request at most once
+// instead of forever.
+const ForwardedHeader = "X-Repro-Forwarded"
+
+// DefaultProxyTimeout bounds one proxied request when
+// Config.ProxyTimeout is zero. It is deliberately generous: the owner
+// may be cold-profiling the workload, which is the expensive path
+// sharding exists to keep on one node.
+const DefaultProxyTimeout = 60 * time.Second
+
+// proxyToOwner routes a predict/explore request for bench to its ring
+// owner and relays the response, returning true when it fully handled
+// the request. It returns false — compute locally — when the fleet is
+// off, this node owns bench, or the owner is unreachable (degradation:
+// a dead peer costs cache duplication, never availability).
+func (s *Server) proxyToOwner(w http.ResponseWriter, r *http.Request, bench string) bool {
+	if s.ring == nil {
+		return false
+	}
+	if r.Header.Get(ForwardedHeader) != "" {
+		// Loop guard: one hop only. Serve locally even if the ring says
+		// someone else owns it.
+		s.proxyReceived.Add(1)
+		return false
+	}
+	owner := s.ring.Owner(bench)
+	if owner == s.cfg.ClusterSelf {
+		return false
+	}
+	out, err := http.NewRequestWithContext(r.Context(), r.Method,
+		"http://"+owner+r.URL.RequestURI(), nil)
+	if err != nil {
+		s.proxyFallback.Add(1)
+		return false
+	}
+	out.Header.Set(ForwardedHeader, s.cfg.ClusterSelf)
+	resp, err := s.proxyClient.Do(out)
+	if err != nil {
+		// Owner down or unreachable: fall back to local compute. The
+		// hot set stops being disjoint for this workload until the
+		// owner returns — strictly better than failing the request.
+		s.proxyFallback.Add(1)
+		return false
+	}
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	flushCopy(w, resp.Body)
+	s.proxied.Add(1)
+	return true
+}
+
+// flushCopy relays body to w, flushing after every read so streamed
+// NDJSON exploration batches cross the proxy hop with the same
+// incremental delivery a direct connection gives.
+func flushCopy(w http.ResponseWriter, body io.Reader) {
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// handleArtifactGet serves one raw store object to ring peers —
+// the transport behind the shared artifact tier. The bytes are the
+// self-verifying artifact file (magic, identity, digests), so the
+// fetching node trusts its own verification, not this peer.
+func (s *Server) handleArtifactGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !artifact.ValidKey(key) {
+		s.writeErr(w, fmt.Errorf("malformed artifact key %q", key), codeBadRequest)
+		return
+	}
+	if s.store == nil {
+		s.writeErr(w, fmt.Errorf("no artifact store configured"), codeNotFound)
+		return
+	}
+	data, err := s.store.ReadRaw(key)
+	if err != nil {
+		s.writeErr(w, err, codeNotFound)
+		return
+	}
+	s.artifactsServed.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(len(data)))
+	_, _ = w.Write(data)
+}

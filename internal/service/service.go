@@ -32,6 +32,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/artifact"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dse"
 	"repro/internal/harness"
@@ -121,6 +122,21 @@ type Config struct {
 	// ingest.DefaultQuota.
 	Quota ingest.QuotaConfig
 
+	// ClusterSelf is this node's own advertised address ("host:port")
+	// when running as a fleet member; it must appear in ClusterPeers.
+	// "" (with no peers) runs the classic single-process service.
+	ClusterSelf string
+	// ClusterPeers is the full fleet member list, including self. All
+	// members must pass the same set (order-insensitive) so every node
+	// builds the same consistent-hash ring.
+	ClusterPeers []string
+	// VirtualNodes is the per-member virtual point count on the ring;
+	// ≤ 0 means cluster.DefaultVirtualNodes.
+	VirtualNodes int
+	// ProxyTimeout caps one proxied request to the owning node; ≤ 0
+	// means DefaultProxyTimeout.
+	ProxyTimeout time.Duration
+
 	// Hooks are chaos-test injection points; zero in production.
 	Hooks Hooks
 }
@@ -138,15 +154,31 @@ type Server struct {
 	registry *ingest.Registry
 	quotas   *ingest.Quotas
 
-	reqPredict   atomic.Int64
-	reqExplore   atomic.Int64
-	reqWorkloads atomic.Int64
-	reqArtifacts atomic.Int64
-	reqIngest    atomic.Int64
-	reqHealth    atomic.Int64
-	reqMetrics   atomic.Int64
-	errCount     atomic.Int64
-	inFlight     atomic.Int64
+	// Fleet state: nil ring means single-process mode. The remote tier
+	// is the peer-fetching artifact layer, kept for its counters.
+	ring        *cluster.Ring
+	remote      *artifact.RemoteTier
+	proxyClient *http.Client
+
+	// latency holds one fixed-bucket histogram per counted endpoint,
+	// keyed by the endpoint name used in the requests map.
+	latency map[string]*histogram
+
+	reqPredict     atomic.Int64
+	reqExplore     atomic.Int64
+	reqWorkloads   atomic.Int64
+	reqArtifacts   atomic.Int64
+	reqArtifactGet atomic.Int64
+	reqIngest      atomic.Int64
+	reqHealth      atomic.Int64
+	reqMetrics     atomic.Int64
+	errCount       atomic.Int64
+	inFlight       atomic.Int64
+
+	proxied         atomic.Int64 // requests this node forwarded to their owner
+	proxyReceived   atomic.Int64 // forwarded requests this node served (loop guard)
+	proxyFallback   atomic.Int64 // owner-unreachable local-compute fallbacks
+	artifactsServed atomic.Int64 // raw artifacts served to peers
 
 	ingSubmitted atomic.Int64
 	ingAccepted  atomic.Int64
@@ -195,14 +227,52 @@ func New(cfg Config) (*Server, error) {
 	// and flags all enforce the same numbers.
 	cfg.Ingest = cfg.Ingest.WithDefaults()
 	cfg.Quota = cfg.Quota.WithDefaults()
+	// Fleet membership: peers without a self identity (or vice versa)
+	// is a configuration mistake, and self must be a ring member —
+	// otherwise this node would proxy every request and own nothing.
+	var ring *cluster.Ring
+	if len(cfg.ClusterPeers) > 0 || cfg.ClusterSelf != "" {
+		if cfg.ClusterSelf == "" {
+			return nil, fmt.Errorf("service: cluster peers configured without a self address")
+		}
+		peers := cfg.ClusterPeers
+		if len(peers) == 0 {
+			peers = []string{cfg.ClusterSelf}
+		}
+		var err error
+		if ring, err = cluster.New(peers, cfg.VirtualNodes); err != nil {
+			return nil, err
+		}
+		if !ring.Contains(cfg.ClusterSelf) {
+			return nil, fmt.Errorf("service: self address %q is not in the peer list %v", cfg.ClusterSelf, ring.Nodes())
+		}
+	}
 	var store *artifact.Store
 	var guard *storeGuard
+	var remote *artifact.RemoteTier
 	if cfg.ArtifactDir != "" {
 		var err error
 		if store, err = artifact.Open(cfg.ArtifactDir); err != nil {
 			return nil, err
 		}
 		var tier harness.ArtifactTier = store
+		// With ring peers, the remote tier sits directly over the local
+		// store: a local miss pulls the finished artifact from the
+		// workload's previous owner instead of re-profiling. The chaos
+		// WrapTier and the retry/breaker guard stack on top, so peer
+		// fetches ride the same resilience machinery as disk reads.
+		if ring != nil && ring.Len() > 1 {
+			var others []string
+			for _, p := range ring.Nodes() {
+				if p != cfg.ClusterSelf {
+					others = append(others, p)
+				}
+			}
+			if remote, err = artifact.NewRemoteTier(store, artifact.RemoteOptions{Peers: others}); err != nil {
+				return nil, err
+			}
+			tier = remote
+		}
 		if cfg.Hooks.WrapTier != nil {
 			tier = cfg.Hooks.WrapTier(tier)
 		}
@@ -251,6 +321,16 @@ func New(cfg Config) (*Server, error) {
 		mux:      http.NewServeMux(),
 		registry: registry,
 		quotas:   ingest.NewQuotas(cfg.Quota),
+		ring:     ring,
+		remote:   remote,
+		latency:  make(map[string]*histogram),
+	}
+	if ring != nil {
+		pt := cfg.ProxyTimeout
+		if pt <= 0 {
+			pt = DefaultProxyTimeout
+		}
+		s.proxyClient = &http.Client{Timeout: pt}
 	}
 	if s.cfg.ExploreWorkers <= 0 {
 		s.cfg.ExploreWorkers = s.budget.Cap() / 2
@@ -258,13 +338,14 @@ func New(cfg Config) (*Server, error) {
 	if s.cfg.ExploreWorkers < 1 {
 		s.cfg.ExploreWorkers = 1
 	}
-	s.mux.HandleFunc("GET /v1/predict", s.count(&s.reqPredict, s.handlePredict))
-	s.mux.HandleFunc("GET /v1/explore", s.count(&s.reqExplore, s.handleExplore))
-	s.mux.HandleFunc("GET /v1/workloads", s.count(&s.reqWorkloads, s.handleWorkloads))
-	s.mux.HandleFunc("POST /v1/workloads", s.count(&s.reqIngest, s.handleIngest))
-	s.mux.HandleFunc("GET /v1/artifacts", s.count(&s.reqArtifacts, s.handleArtifacts))
-	s.mux.HandleFunc("GET /healthz", s.count(&s.reqHealth, s.handleHealth))
-	s.mux.HandleFunc("GET /metrics", s.count(&s.reqMetrics, s.handleMetrics))
+	s.mux.HandleFunc("GET /v1/predict", s.count("predict", &s.reqPredict, s.handlePredict))
+	s.mux.HandleFunc("GET /v1/explore", s.count("explore", &s.reqExplore, s.handleExplore))
+	s.mux.HandleFunc("GET /v1/workloads", s.count("workloads", &s.reqWorkloads, s.handleWorkloads))
+	s.mux.HandleFunc("POST /v1/workloads", s.count("ingest", &s.reqIngest, s.handleIngest))
+	s.mux.HandleFunc("GET /v1/artifacts", s.count("artifacts", &s.reqArtifacts, s.handleArtifacts))
+	s.mux.HandleFunc("GET /v1/artifacts/{key}", s.count("artifact_get", &s.reqArtifactGet, s.handleArtifactGet))
+	s.mux.HandleFunc("GET /healthz", s.count("healthz", &s.reqHealth, s.handleHealth))
+	s.mux.HandleFunc("GET /metrics", s.count("metrics", &s.reqMetrics, s.handleMetrics))
 	return s, nil
 }
 
@@ -282,6 +363,11 @@ func (s *Server) WarmStart() (int, error) {
 	for _, spec := range workloads.All() {
 		if s.cfg.MaxWorkloads > 0 && loaded >= s.cfg.MaxWorkloads {
 			break
+		}
+		// A fleet member warms only the workloads it owns; unowned ones
+		// are the peers' hot set and would just be evicted here.
+		if !s.owned(spec.Name) {
+			continue
 		}
 		if !s.store.HasWorkload(s.workloadID(spec)) {
 			continue
@@ -301,6 +387,9 @@ func (s *Server) WarmStart() (int, error) {
 		if s.cfg.MaxWorkloads > 0 && loaded >= s.cfg.MaxWorkloads {
 			break
 		}
+		if !s.owned(entry.Name) {
+			continue
+		}
 		if !s.store.HasWorkload(s.ingestedID(entry)) {
 			continue
 		}
@@ -313,6 +402,12 @@ func (s *Server) WarmStart() (int, error) {
 		loaded++
 	}
 	return loaded, firstErr
+}
+
+// owned reports whether this node serves bench directly: always true
+// in single-process mode, the ring's verdict in a fleet.
+func (s *Server) owned(bench string) bool {
+	return s.ring == nil || s.ring.Owner(bench) == s.cfg.ClusterSelf
 }
 
 // ingestedID returns the artifact identity of an ingested workload —
@@ -352,14 +447,20 @@ func (s *Server) maxBodyBytes() int64 {
 	return DefaultMaxBodyBytes
 }
 
-// count is the per-endpoint middleware: request counting, in-flight
-// tracking, the shared body cap, the chaos hook, and panic recovery —
-// a panicking handler answers 500 {"error":{"code":"panic"}} and bumps
-// a counter instead of killing the process.
-func (s *Server) count(c *atomic.Int64, h http.HandlerFunc) http.HandlerFunc {
+// count is the per-endpoint middleware: request counting, latency
+// observation, in-flight tracking, the shared body cap, the chaos
+// hook, and panic recovery — a panicking handler answers 500
+// {"error":{"code":"panic"}} and bumps a counter instead of killing
+// the process. Histograms are registered at New time (one per counted
+// endpoint), so observation is lock-free.
+func (s *Server) count(name string, c *atomic.Int64, h http.HandlerFunc) http.HandlerFunc {
+	hist := &histogram{}
+	s.latency[name] = hist
 	return func(w http.ResponseWriter, r *http.Request) {
 		c.Add(1)
 		s.inFlight.Add(1)
+		start := time.Now()
+		defer func() { hist.observe(time.Since(start)) }()
 		defer s.inFlight.Add(-1)
 		defer func() {
 			if v := recover(); v != nil {
@@ -606,6 +707,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, fmt.Errorf("missing required parameter bench"), codeBadRequest)
 		return
 	}
+	if s.proxyToOwner(w, r, bench) {
+		return
+	}
 	cfg, err := decodeConfig(r)
 	if err != nil {
 		s.writeErr(w, err, codeBadRequest)
@@ -760,6 +864,9 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	bench := r.URL.Query().Get("bench")
 	if bench == "" {
 		s.writeErr(w, fmt.Errorf("missing required parameter bench"), codeBadRequest)
+		return
+	}
+	if s.proxyToOwner(w, r, bench) {
 		return
 	}
 	top, err := intParam(r, "top", 0)
@@ -1235,7 +1342,22 @@ type Metrics struct {
 		RegistrySaveErrors int64             `json:"registry_save_errors"`
 		Quota              ingest.QuotaStats `json:"quota"`
 	} `json:"ingest"`
-	PlaneBudgetBytes int64 `json:"plane_budget_bytes"`
+	Cluster struct {
+		Enabled            bool                  `json:"enabled"`
+		Self               string                `json:"self,omitempty"`
+		Peers              []string              `json:"peers,omitempty"`
+		VirtualNodes       int                   `json:"virtual_nodes,omitempty"`
+		Proxied            int64                 `json:"proxied"`
+		ProxyReceived      int64                 `json:"proxy_received"`
+		ProxyFallbackLocal int64                 `json:"proxy_fallback_local"`
+		ArtifactsServed    int64                 `json:"artifacts_served"`
+		ArtifactFetch      *artifact.RemoteStats `json:"artifact_fetch,omitempty"`
+	} `json:"cluster"`
+	// Latency is one fixed-bucket histogram per endpoint (the requests
+	// map's keys), letting a load generator's client-side percentiles
+	// be cross-checked against the server's own observations.
+	Latency          map[string]HistogramJSON `json:"latency"`
+	PlaneBudgetBytes int64                    `json:"plane_budget_bytes"`
 }
 
 // MetricsSnapshot returns the current counters (also served at
@@ -1274,6 +1396,24 @@ func (s *Server) MetricsSnapshot() Metrics {
 		m.Store.Retries = s.guard.Retried()
 		m.Store.Trips = s.guard.Trips()
 		m.Store.Degraded = s.guard.Degraded()
+	}
+	m.Cluster.Enabled = s.ring != nil
+	if s.ring != nil {
+		m.Cluster.Self = s.cfg.ClusterSelf
+		m.Cluster.Peers = s.ring.Nodes()
+		m.Cluster.VirtualNodes = s.ring.VirtualNodes()
+	}
+	m.Cluster.Proxied = s.proxied.Load()
+	m.Cluster.ProxyReceived = s.proxyReceived.Load()
+	m.Cluster.ProxyFallbackLocal = s.proxyFallback.Load()
+	m.Cluster.ArtifactsServed = s.artifactsServed.Load()
+	if s.remote != nil {
+		st := s.remote.Stats()
+		m.Cluster.ArtifactFetch = &st
+	}
+	m.Latency = make(map[string]HistogramJSON, len(s.latency))
+	for name, h := range s.latency {
+		m.Latency[name] = h.snapshot()
 	}
 	m.Ingest.Submitted = s.ingSubmitted.Load()
 	m.Ingest.Accepted = s.ingAccepted.Load()

@@ -23,7 +23,8 @@ out="BENCH_${n}.json"
 prev="BENCH_$((n - 1)).json"
 raw="$(mktemp)"
 robust="$(mktemp)"
-trap 'rm -f "$raw" "$robust"' EXIT
+loadj="$(mktemp)"
+trap 'rm -f "$raw" "$robust" "$loadj"' EXIT
 
 # With REPRO_ARTIFACT_DIR set, the experiment harness profiles through
 # the persistent artifact store; record whether this run started warm
@@ -128,6 +129,37 @@ if go build -o "${TMPDIR:-/tmp}/bench-dse" ./cmd/dse-explore; then
 fi
 export BENCH_SEARCH_LINE="$search_line" BENCH_SEARCH_WALL="$search_wall"
 
+# Load probe: boot one unbounded modeld and drive the seeded loadgen
+# profile against it for a few seconds, recording latency percentiles,
+# error counts and saturation QPS as the BENCH "load" section. The
+# probe shares nothing with the figure benchmarks above, so figure
+# metrics stay bit-identical; scripts/check_load.py gates the numbers
+# against scripts/load_thresholds.json in CI. Best-effort: a failed
+# probe records null (and the nightly load gate catches that).
+echo "probing load (seeded closed-loop, 3s)..." >&2
+load_ok=0
+if [[ -x "${TMPDIR:-/tmp}/bench-modeld" ]] \
+  && go build -o "${TMPDIR:-/tmp}/bench-loadgen" ./cmd/loadgen; then
+  lport="${BENCH_LOAD_PORT:-18124}"
+  "${TMPDIR:-/tmp}/bench-modeld" -addr "127.0.0.1:$lport" >&2 &
+  lpid=$!
+  for _ in $(seq 1 50); do
+    curl -fsS "http://127.0.0.1:$lport/healthz" > /dev/null 2>&1 && break
+    sleep 0.2
+  done
+  if "${TMPDIR:-/tmp}/bench-loadgen" -targets "http://127.0.0.1:$lport" \
+    -seed 1 -duration 3s -concurrency 4 -out "$loadj" >&2; then
+    load_ok=1
+  fi
+  kill "$lpid" 2> /dev/null || true
+  wait "$lpid" 2> /dev/null || true
+fi
+if [[ "$load_ok" == 1 ]]; then
+  export BENCH_LOAD_FILE="$loadj"
+else
+  export BENCH_LOAD_FILE=""
+fi
+
 python3 - "$raw" "$out" "$prev" <<'EOF'
 import json, os, re, sys
 
@@ -208,6 +240,17 @@ if m:
         "front_size": int(m.group(4)),
         "cardinality": int(m.group(5)),
     }
+
+# Load-probe results: cmd/loadgen's full report (latency percentiles,
+# error taxonomy, saturation QPS) verbatim. Telemetry like search —
+# schema-checked by check_bench, thresholds gated by check_load.
+doc["load"] = None
+load_path = os.environ.get("BENCH_LOAD_FILE", "")
+try:
+    with open(load_path) as f:
+        doc["load"] = json.load(f)
+except (OSError, ValueError):
+    pass
 
 if os.path.exists(prev_path):
     prev = json.load(open(prev_path))["benchmarks"]

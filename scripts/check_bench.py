@@ -13,6 +13,12 @@ wall time and allocation counters (ns/op, B/op, allocs/op, MB/s) vary
 with the machine and are ignored. Exits non-zero on any drift, on a
 figure metric that disappeared, or on a benchmark missing from the
 candidate, printing a per-metric report either way.
+
+Non-benchmark sections (artifact_store, robustness, search, load) are
+validated explicitly: each must be a known section with its required
+keys present (or null, for probe-backed telemetry), and an unknown
+top-level section fails the check rather than being skipped silently.
+Their values are telemetry and free to drift run to run.
 """
 
 import glob
@@ -22,6 +28,62 @@ import sys
 
 # Machine-dependent units: never part of the bit-identity gate.
 SKIP_UNITS = {"B/op", "allocs/op", "MB/s"}
+
+# Every top-level section a BENCH file may carry, mapped to the keys
+# its object form must contain (None = no schema beyond presence).
+# An unknown section is a hard failure: a silently-skipped section is
+# how telemetry rots — it keeps being written but nothing would notice
+# if its shape broke.
+SECTION_SCHEMAS = {
+    "suite": None,
+    "benchmarks": None,          # the figure-metric gate below
+    "baseline": None,
+    "artifact_store": {"enabled", "dir", "warm"},
+    "robustness": {"lifecycle", "store", "ingest"},
+    "search": {"benchmark", "space", "budget", "seed", "wall_seconds",
+               "evaluated", "generations", "stats_replays", "front_size",
+               "cardinality"},
+    "load": {"seed", "targets", "benches", "mix", "saturation_qps",
+             "requests_total", "errors_total"},
+}
+
+# Telemetry sections whose *values* may drift between runs (wall
+# times, counter noise, machine differences). They are schema-checked,
+# never value-compared; only benchmarks{} figure metrics are the
+# bit-identity gate.
+DRIFT_OK = {"suite", "baseline", "artifact_store", "robustness", "search", "load"}
+
+# Probe-backed sections record null when their probe failed; that is a
+# tolerated (and printed) outcome, not a schema violation.
+NULLABLE = {"robustness", "search", "load"}
+
+
+def check_sections(doc, path):
+    """Validate the document's top-level shape; returns failure lines."""
+    failures = []
+    for name in sorted(doc):
+        if name not in SECTION_SCHEMAS:
+            failures.append(f"  UNKNOWN  section {name!r} in {path} "
+                            f"(known: {sorted(SECTION_SCHEMAS)})")
+            continue
+        required = SECTION_SCHEMAS[name]
+        value = doc[name]
+        if value is None:
+            if name in NULLABLE:
+                print(f"  note     section {name} is null in {path} (probe failed)")
+            else:
+                failures.append(f"  NULL     section {name} in {path} is not nullable")
+            continue
+        if required:
+            if not isinstance(value, dict):
+                failures.append(f"  SHAPE    section {name} in {path} is "
+                                f"{type(value).__name__}, want object")
+                continue
+            missing = required - set(value)
+            if missing:
+                failures.append(f"  SCHEMA   section {name} in {path} is missing "
+                                f"key(s) {sorted(missing)}")
+    return failures
 
 
 def figure_metrics(doc):
@@ -52,12 +114,16 @@ def main():
     cand_path = sys.argv[1]
     base_path = sys.argv[2] if len(sys.argv) == 3 else latest_baseline(cand_path)
 
-    cand = figure_metrics(json.load(open(cand_path)))
-    base = figure_metrics(json.load(open(base_path)))
+    cand_doc = json.load(open(cand_path))
+    base_doc = json.load(open(base_path))
+    cand = figure_metrics(cand_doc)
+    base = figure_metrics(base_doc)
     print(f"comparing {len(cand)} candidate figure metrics ({cand_path}) "
           f"against {len(base)} baseline metrics ({base_path})")
 
-    failures = []
+    failures = check_sections(cand_doc, cand_path)
+    for name in sorted(set(cand_doc) & DRIFT_OK):
+        print(f"  ok       section {name} (telemetry: schema-checked, values free to drift)")
     for key in sorted(base):
         name, unit = key
         if key not in cand:
@@ -71,10 +137,10 @@ def main():
         print(f"  new      {key[0]} [{key[1]}] = {cand[key]} (not in baseline)")
 
     if failures:
-        print(f"\n{len(failures)} figure metric(s) drifted from {base_path}:")
+        print(f"\n{len(failures)} check(s) failed against {base_path}:")
         print("\n".join(failures))
         sys.exit(1)
-    print("\nall figure metrics bit-identical to the baseline")
+    print("\nall sections well-formed; all figure metrics bit-identical to the baseline")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Unit tests for check_bench.py and check_load.py, run in CI.
+
+Each case invokes the script as a subprocess (the same way the
+workflows do) against synthetic JSON files, pinning the gate's verdict
+for: identical metrics, drifted metrics, unknown sections, drifting
+telemetry sections, and load-threshold violations.
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+CHECK_BENCH = os.path.join(HERE, "check_bench.py")
+CHECK_LOAD = os.path.join(HERE, "check_load.py")
+
+BASE_DOC = {
+    "suite": "go test -bench",
+    "benchmarks": {
+        "BenchmarkFigure3": {
+            "iterations": 1,
+            "wall_seconds": 1.5,
+            "metrics": {"avg-err-%": 2.25, "B/op": 1000.0},
+        },
+    },
+    "artifact_store": {"enabled": False, "dir": None, "warm": False},
+    "robustness": {"lifecycle": {"cancelled": 1}, "store": {}, "ingest": {}},
+    "search": {
+        "benchmark": "crc32", "space": "extended", "budget": 512, "seed": 1,
+        "wall_seconds": 2.0, "evaluated": 300, "generations": 10,
+        "stats_replays": 5, "front_size": 7, "cardinality": 1024,
+    },
+    "load": {
+        "seed": 1, "targets": ["http://127.0.0.1:1"], "benches": ["sha"],
+        "mix": "predict:0.80 explore:0.15 ingest:0.05",
+        "closed": {
+            "duration_seconds": 5.0, "concurrency": 4, "achieved_qps": 120.0,
+            "requests": 600, "errors": {}, "error_rate": 0.0,
+            "latency_ms": {"p50": 5.0, "p95": 20.0, "p99": 40.0, "max": 80.0},
+            "by_op": {"predict": {"p50": 4.0, "p95": 15.0, "p99": 30.0, "max": 60.0}},
+        },
+        "saturation_qps": 120.0, "requests_total": 600, "errors_total": 0,
+    },
+}
+
+THRESHOLDS = {
+    "max_error_rate": 0.0,
+    "min_saturation_qps": 20.0,
+    "max_p99_ms": {"overall": 2500.0, "predict": 2000.0},
+}
+
+
+def run(script, *docs_and_args):
+    """Write each dict arg to a temp file; pass strings through."""
+    with tempfile.TemporaryDirectory() as td:
+        argv = [sys.executable, script]
+        for i, a in enumerate(docs_and_args):
+            if isinstance(a, dict):
+                path = os.path.join(td, f"arg{i}.json")
+                with open(path, "w") as f:
+                    json.dump(a, f)
+                argv.append(path)
+            else:
+                argv.append(a)
+        return subprocess.run(argv, capture_output=True, text=True)
+
+
+class CheckBenchTest(unittest.TestCase):
+    def test_identical_passes(self):
+        r = run(CHECK_BENCH, BASE_DOC, BASE_DOC)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_figure_drift_fails(self):
+        cand = copy.deepcopy(BASE_DOC)
+        cand["benchmarks"]["BenchmarkFigure3"]["metrics"]["avg-err-%"] = 9.9
+        r = run(CHECK_BENCH, cand, BASE_DOC)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("DRIFT", r.stdout)
+
+    def test_machine_unit_drift_ignored(self):
+        cand = copy.deepcopy(BASE_DOC)
+        cand["benchmarks"]["BenchmarkFigure3"]["metrics"]["B/op"] = 99999.0
+        r = run(CHECK_BENCH, cand, BASE_DOC)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_unknown_section_fails(self):
+        cand = copy.deepcopy(BASE_DOC)
+        cand["mystery"] = {"anything": 1}
+        r = run(CHECK_BENCH, cand, BASE_DOC)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("UNKNOWN", r.stdout)
+
+    def test_telemetry_drift_allowed(self):
+        cand = copy.deepcopy(BASE_DOC)
+        cand["search"]["evaluated"] = 999
+        cand["load"]["saturation_qps"] = 1.0
+        cand["robustness"]["lifecycle"] = {"cancelled": 42}
+        r = run(CHECK_BENCH, cand, BASE_DOC)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_schema_violation_fails(self):
+        cand = copy.deepcopy(BASE_DOC)
+        del cand["load"]["saturation_qps"]
+        r = run(CHECK_BENCH, cand, BASE_DOC)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("SCHEMA", r.stdout)
+
+    def test_null_probe_section_tolerated(self):
+        cand = copy.deepcopy(BASE_DOC)
+        cand["load"] = None
+        cand["search"] = None
+        r = run(CHECK_BENCH, cand, BASE_DOC)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+
+class CheckLoadTest(unittest.TestCase):
+    def test_clean_load_passes(self):
+        r = run(CHECK_LOAD, BASE_DOC["load"], THRESHOLDS)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_bench_wrapper_accepted(self):
+        r = run(CHECK_LOAD, BASE_DOC, THRESHOLDS)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_error_rate_fails(self):
+        load = copy.deepcopy(BASE_DOC["load"])
+        load["closed"]["error_rate"] = 0.01
+        load["closed"]["errors"] = {"overloaded": 6}
+        r = run(CHECK_LOAD, load, THRESHOLDS)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+
+    def test_p99_ceiling_fails(self):
+        load = copy.deepcopy(BASE_DOC["load"])
+        load["closed"]["by_op"]["predict"]["p99"] = 5000.0
+        r = run(CHECK_LOAD, load, THRESHOLDS)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+
+    def test_saturation_floor_fails(self):
+        load = copy.deepcopy(BASE_DOC["load"])
+        load["saturation_qps"] = 5.0
+        r = run(CHECK_LOAD, load, THRESHOLDS)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+
+    def test_null_load_fails(self):
+        r = run(CHECK_LOAD, {"load": None}, THRESHOLDS)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+
+    def test_committed_thresholds_parse(self):
+        # The committed thresholds file itself must gate the reference
+        # load shape, so a malformed edit to it fails here first.
+        r = run(CHECK_LOAD, BASE_DOC["load"],
+                os.path.join(HERE, "load_thresholds.json"))
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

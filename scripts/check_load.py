@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""check_load.py — gate a load test against committed thresholds.
+
+Usage:
+    scripts/check_load.py LOAD.json [THRESHOLDS.json]
+
+LOAD.json is either cmd/loadgen's raw output or a BENCH_<N>.json
+carrying a "load" section. THRESHOLDS.json defaults to
+scripts/load_thresholds.json next to this script.
+
+Fails (exit 1) when any phase's error rate exceeds max_error_rate,
+when a phase's p99 (overall or per-op, for ops listed in max_p99_ms)
+exceeds its ceiling, or when closed-loop saturation throughput falls
+below min_saturation_qps. A BENCH file whose load section is null
+fails too: the gate exists to notice exactly that kind of silent
+probe death.
+"""
+
+import json
+import os
+import sys
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        sys.exit(__doc__)
+    load_path = sys.argv[1]
+    thr_path = (sys.argv[2] if len(sys.argv) == 3 else
+                os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "load_thresholds.json"))
+    doc = json.load(open(load_path))
+    if "load" in doc:  # BENCH file
+        doc = doc["load"]
+    if doc is None:
+        sys.exit(f"check_load: {load_path} has a null load section "
+                 "(the load probe failed)")
+    thr = json.load(open(thr_path))
+    max_err = thr["max_error_rate"]
+    min_sat = thr.get("min_saturation_qps", 0)
+    p99_caps = thr.get("max_p99_ms", {})
+
+    failures = []
+    for phase_name in ("closed", "open"):
+        phase = doc.get(phase_name)
+        if phase is None:
+            continue
+        rate = phase.get("error_rate", 0)
+        print(f"  {phase_name}: {phase.get('requests', 0)} requests, "
+              f"error rate {rate:.4f}, p99 {phase['latency_ms']['p99']:.1f}ms, "
+              f"{phase.get('achieved_qps', 0):.1f} qps")
+        for code, n in sorted(phase.get("errors", {}).items()):
+            print(f"    error {code}: {n}")
+        if rate > max_err:
+            failures.append(f"  {phase_name}: error rate {rate:.4f} > {max_err}")
+        if "overall" in p99_caps and phase["latency_ms"]["p99"] > p99_caps["overall"]:
+            failures.append(f"  {phase_name}: p99 {phase['latency_ms']['p99']:.1f}ms "
+                            f"> {p99_caps['overall']}ms")
+        for op_name, lat in sorted(phase.get("by_op", {}).items()):
+            cap = p99_caps.get(op_name)
+            if cap is not None and lat["p99"] > cap:
+                failures.append(f"  {phase_name}/{op_name}: p99 {lat['p99']:.1f}ms "
+                                f"> {cap}ms")
+
+    sat = doc.get("saturation_qps", 0)
+    if doc.get("closed") is not None and sat < min_sat:
+        failures.append(f"  saturation {sat:.1f} qps < {min_sat} qps floor")
+    else:
+        print(f"  saturation: {sat:.1f} qps (floor {min_sat})")
+
+    if failures:
+        print(f"\nload gate FAILED ({len(failures)} threshold(s) exceeded):")
+        print("\n".join(failures))
+        sys.exit(1)
+    print("\nload gate passed: all thresholds met")
+
+
+if __name__ == "__main__":
+    main()
